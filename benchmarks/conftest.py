@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+scaled-down budget (so the whole suite completes in minutes) and prints the
+paper-vs-measured rows.  Set ``TURBOFUZZ_SCALE=full`` for budgets closer to
+paper scale (much slower).
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("TURBOFUZZ_SCALE", "default")
+
+
+def scaled(default_value, full_value):
+    """Pick an experiment budget by scale setting."""
+    return full_value if SCALE == "full" else default_value
+
+
+@pytest.fixture
+def budget():
+    return scaled
+
+
+def print_header(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,31 @@
+"""Fig. 10 — deepExplore vs pure fuzzing vs benchmark-only execution."""
+
+from benchmarks.conftest import print_header, scaled
+from repro.harness import experiments as ex
+
+
+def test_fig10_deepexplore(benchmark):
+    iterations = scaled(80, 400)
+    result = benchmark.pedantic(
+        ex.fig10_deepexplore, kwargs={"fuzz_iterations": iterations},
+        rounds=1, iterations=1,
+    )
+    print_header("Fig. 10: deepExplore coverage convergence")
+    final = result["final"]
+    print(f"deepExplore final:    {final['deepexplore']}")
+    print(f"pure fuzzing final:   {final['fuzz_only']}")
+    print(f"benchmark-only final: {final['benchmark_only']}")
+    print(f"gain vs benchmarks: {result['gain_vs_benchmarks']:.2f}x"
+          f"   (paper: up to 1.67x)")
+    print(f"gain vs pure fuzzing: {result['gain_vs_fuzz_only']:.3f}x"
+          f"   (paper: +2.6%)")
+    crossover = result["crossover_seconds"]
+    print(f"crossover (deepExplore overtakes fuzz-only): "
+          f"{crossover if crossover else 'n/a'} virtual s   (paper: ~22 s)")
+    # Shapes: fuzzing beats benchmark-only by a wide margin; deepExplore
+    # ends in the same band as pure fuzzing (its +2.6% edge appears near
+    # convergence — billions of instructions; see EXPERIMENTS.md, which
+    # records the 0.85-1.0x band measured at this scale).
+    assert final["fuzz_only"] > final["benchmark_only"]
+    assert result["gain_vs_benchmarks"] > 1.2
+    assert result["gain_vs_fuzz_only"] > 0.8

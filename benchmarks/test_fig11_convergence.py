@@ -1,0 +1,32 @@
+"""Fig. 11 — coverage convergence across all three fuzzing systems."""
+
+from benchmarks.conftest import print_header, scaled
+from repro.harness import experiments as ex
+
+
+def test_fig11_convergence(benchmark):
+    budget = scaled(2.0, 10.0)  # virtual seconds (paper: 1/2/4 hours)
+    checkpoints = tuple(budget * f for f in (0.25, 0.5, 1.0))
+    result = benchmark.pedantic(
+        ex.fig11_convergence,
+        kwargs={"budget_seconds": budget, "checkpoints": checkpoints,
+                "max_iterations": scaled(160, 900)},
+        rounds=1, iterations=1,
+    )
+    print_header("Fig. 11: coverage convergence (virtual-time axis)")
+    print("paper @1/2/4h: TurboFuzz 1.26-1.31x vs Cascade, "
+          "1.64-2.23x vs DifuzzRTL, 1000->4000 instr/iter up to 1.11x")
+    for checkpoint, row in result["checkpoints"].items():
+        print(f"t={checkpoint:6.2f}s  tf4000={row['turbofuzz_4000']:>7d} "
+              f"tf1000={row['turbofuzz_1000']:>7d} "
+              f"cascade={row['cascade']:>7d} "
+              f"difuzzrtl={row['difuzzrtl']:>7d}  "
+              f"tf/cascade={row['tf_vs_cascade']:.2f}x "
+              f"tf/difuzz={row['tf_vs_difuzzrtl']:.2f}x")
+    print(f"speedup to {result['target_points']} points vs Cascade: "
+          f"{result['speedup_vs_cascade_to_target']}"
+          f"   (paper: 278x to 35000 points)")
+    final = result["checkpoints"][checkpoints[-1]]
+    assert final["turbofuzz_4000"] > final["cascade"] > final["difuzzrtl"]
+    assert final["tf_vs_cascade"] > 1.0
+    assert final["tf_vs_difuzzrtl"] > final["tf_vs_cascade"]

@@ -1,0 +1,25 @@
+"""Fig. 4 — proportion of executable instructions in prior-work streams."""
+
+from benchmarks.conftest import print_header, scaled
+from repro.harness import experiments as ex
+
+
+def test_fig4_executable_proportion(benchmark):
+    iterations = scaled(12, 60)
+    result = benchmark.pedantic(
+        ex.fig4_executable_proportion, kwargs={"iterations": iterations},
+        rounds=1, iterations=1,
+    )
+    print_header("Fig. 4: proportion of executable instructions (DifuzzRTL)")
+    print(f"executed fraction of generated: {result['executed_fraction']:.3f}"
+          f"   (paper: ~0.193)")
+    print(f"control-flow share of generated: "
+          f"{result['control_flow_share_generated']:.3f}   (paper: >1/6)")
+    print("top generated categories:")
+    top = sorted(result["generated_by_category"].items(),
+                 key=lambda item: -item[1])[:8]
+    for category, count in top:
+        executed = result["executed_by_category"].get(category, 0)
+        print(f"  {category:10s} generated={count:6d} executed={executed}")
+    assert result["executed_fraction"] < 0.35
+    assert result["control_flow_share_generated"] > 1 / 7

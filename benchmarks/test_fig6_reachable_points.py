@@ -1,0 +1,29 @@
+"""Fig. 6 — instrumented vs achievable coverage points per layout."""
+
+from benchmarks.conftest import print_header
+from repro.harness import experiments as ex
+
+
+def test_fig6_reachable_points(benchmark):
+    rows = benchmark.pedantic(
+        ex.fig6_reachable_points, kwargs={"state_sizes": (13, 14, 15)},
+        rounds=1, iterations=1,
+    )
+    print_header("Fig. 6: instrumented vs achievable coverage points")
+    paper = {13: 0.768, 14: 0.655, 15: 0.614}
+    for bits, row in rows.items():
+        legacy, optimized = row["legacy"], row["optimized"]
+        print(f"maxStateSize={bits}: legacy {legacy['achievable']:>7d}"
+              f"/{legacy['instrumented']:>7d} ({legacy['fraction']:.1%})"
+              f"  [paper {paper[bits]:.1%}]   optimized "
+              f"{optimized['achievable']:>7d}/{optimized['instrumented']:>7d}"
+              f" ({optimized['fraction']:.1%})  [paper ~100%]")
+    print("per-module (15-bit, legacy):")
+    for name, report in rows[15]["legacy"]["modules"].items():
+        print(f"  {name:10s} {report['fraction']:7.1%}  "
+              f"({report['register_bits']} control-register bits)")
+    for bits, row in rows.items():
+        assert row["optimized"]["fraction"] > 0.99
+        assert row["legacy"]["fraction"] < 0.8
+    fractions = [rows[bits]["legacy"]["fraction"] for bits in (13, 14, 15)]
+    assert fractions[2] <= fractions[0] + 0.02  # decreasing trend

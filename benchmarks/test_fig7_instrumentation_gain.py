@@ -1,0 +1,21 @@
+"""Fig. 7 — coverage gain from the optimized instrumentation, per fuzzer."""
+
+from benchmarks.conftest import print_header, scaled
+from repro.harness import experiments as ex
+
+
+def test_fig7_instrumentation_gain(benchmark):
+    iterations = scaled(25, 150)
+    result = benchmark.pedantic(
+        ex.fig7_instrumentation_gain, kwargs={"iterations": iterations},
+        rounds=1, iterations=1,
+    )
+    print_header("Fig. 7: max coverage, legacy vs optimized instrumentation")
+    paper = {"difuzzrtl": 1.91, "cascade": 1.21, "turbofuzz": 1.56}
+    for fuzzer, row in result.items():
+        print(f"{fuzzer:10s} legacy={row['legacy']:>7d} "
+              f"optimized={row['optimized']:>7d} gain={row['gain']:.2f}x"
+              f"   (paper {paper[fuzzer]:.2f}x)")
+    # Shape: the optimized layout helps every fuzzer.
+    for fuzzer, row in result.items():
+        assert row["gain"] > 1.05, fuzzer

@@ -1,0 +1,26 @@
+"""Fig. 8 — prevalence comparison across fuzzers."""
+
+from benchmarks.conftest import print_header, scaled
+from repro.harness import experiments as ex
+
+
+def test_fig8_prevalence(benchmark):
+    iterations = scaled(10, 40)
+    result = benchmark.pedantic(
+        ex.fig8_prevalence, kwargs={"iterations": iterations},
+        rounds=1, iterations=1,
+    )
+    print_header("Fig. 8: prevalence (fuzzing / executed instructions)")
+    paper = {
+        "difuzzrtl": "< 0.20",
+        "cascade": "0.93 (0.72-0.98)",
+        "turbofuzz_1000": "~0.96",
+        "turbofuzz_4000": "0.97 (0.96-0.97)",
+    }
+    for name, stats in result.items():
+        print(f"{name:16s} mean={stats['mean']:.3f} "
+              f"range=({stats['min']:.3f}, {stats['max']:.3f})"
+              f"   (paper {paper[name]})")
+    assert result["difuzzrtl"]["mean"] < 0.2
+    assert result["cascade"]["mean"] > 0.85
+    assert result["turbofuzz_4000"]["mean"] > 0.93

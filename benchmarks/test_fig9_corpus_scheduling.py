@@ -1,0 +1,23 @@
+"""Fig. 9 — coverage-increment corpus scheduling vs FIFO."""
+
+from benchmarks.conftest import print_header, scaled
+from repro.harness import experiments as ex
+
+
+def test_fig9_corpus_scheduling(benchmark):
+    iterations = scaled(200, 800)
+    result = benchmark.pedantic(
+        ex.fig9_corpus_scheduling, kwargs={"iterations": iterations},
+        rounds=1, iterations=1,
+    )
+    print_header("Fig. 9: corpus scheduling (coverage-increment vs FIFO)")
+    finals = result["final_coverage"]
+    print(f"coverage policy final: {finals['coverage']}")
+    print(f"FIFO policy final:     {finals['fifo']}")
+    print(f"improvement: {result['improvement']:+.2%}   (paper: +7.5% @ 1h)")
+    print(f"time-to-target speedup: {result['time_to_target_speedup']}"
+          f"   (paper: 17.7x to 27500 points)")
+    print("NOTE: at this scaled-down budget the policies differ by a few "
+          "percent at most; see EXPERIMENTS.md for the scale caveat.")
+    # Shape assertion: the coverage policy is not *worse* beyond noise.
+    assert finals["coverage"] > finals["fifo"] * 0.97

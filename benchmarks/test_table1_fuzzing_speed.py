@@ -1,0 +1,30 @@
+"""Table I — fuzzing speed and executed instructions per second."""
+
+from benchmarks.conftest import print_header, scaled
+from repro.harness import experiments as ex
+
+PAPER = {
+    "difuzzrtl": (4.13, 728),
+    "cascade": (12.80, 2489),
+    "turbofuzz": (75.12, 309_676),
+}
+
+
+def test_table1_fuzzing_speed(benchmark):
+    iterations = scaled(10, 40)
+    rows = benchmark.pedantic(
+        ex.table1_fuzzing_speed, kwargs={"iterations": iterations},
+        rounds=1, iterations=1,
+    )
+    print_header("Table I: fuzzing performance comparison")
+    print(f"{'fuzzer':12s} {'speed (Hz)':>12s} {'paper':>8s} "
+          f"{'exec inst/s':>14s} {'paper':>10s}")
+    for name, row in rows.items():
+        paper_hz, paper_eps = PAPER[name]
+        print(f"{name:12s} {row['fuzzing_speed_hz']:12.2f} {paper_hz:8.2f} "
+              f"{row['executed_per_second']:14.0f} {paper_eps:10d}")
+    assert abs(rows["difuzzrtl"]["fuzzing_speed_hz"] - 4.13) / 4.13 < 0.05
+    assert abs(rows["turbofuzz"]["fuzzing_speed_hz"] - 75.12) / 75.12 < 0.15
+    assert abs(rows["turbofuzz"]["executed_per_second"] - 309_676) / 309_676 < 0.10
+    assert rows["cascade"]["fuzzing_speed_hz"] > rows["difuzzrtl"]["fuzzing_speed_hz"]
+    assert rows["turbofuzz"]["fuzzing_speed_hz"] > rows["cascade"]["fuzzing_speed_hz"]

@@ -1,0 +1,32 @@
+"""Table III — FPGA resource usage."""
+
+from benchmarks.conftest import print_header
+from repro.harness import experiments as ex
+
+PAPER = {
+    "dut": (308_739, 20, 170_400),
+    "fuzzer_ip": (67_523, 176, 91_445),
+    "turbofuzz": (89_394, 227, 139_477),
+    "ila_config1": (8_142, 465, 14_294),
+    "ila_config2": (10_078, 578, 17_322),
+}
+
+
+def test_table3_area(benchmark):
+    report = benchmark.pedantic(ex.table3_area, rounds=1, iterations=1)
+    print_header("Table III: resource usage (LUTs / BRAM36 / registers)")
+    for row in ("dut", "fuzzer_ip", "turbofuzz", "ila_config1", "ila_config2"):
+        estimate = report[row]
+        paper = PAPER[row]
+        print(f"{row:12s} {estimate.luts:>8d}/{estimate.brams:>4d}/"
+              f"{estimate.registers:>8d}   paper {paper[0]:>8d}/{paper[1]:>4d}/"
+              f"{paper[2]:>8d}")
+    print(f"ILA/TurboFuzz BRAM ratios: {report['ila1_bram_ratio']:.2f}x, "
+          f"{report['ila2_bram_ratio']:.2f}x   (paper: 2.05x, 2.55x)")
+    for row in ("dut", "fuzzer_ip", "turbofuzz"):
+        estimate, paper = report[row], PAPER[row]
+        assert abs(estimate.luts - paper[0]) / paper[0] < 0.15, row
+        assert abs(estimate.brams - paper[1]) <= max(3, paper[1] * 0.1), row
+        assert abs(estimate.registers - paper[2]) / paper[2] < 0.15, row
+    assert abs(report["ila1_bram_ratio"] - 2.05) < 0.15
+    assert abs(report["ila2_bram_ratio"] - 2.55) < 0.15

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Bug hunt: inject a Table II bug into CVA6 and catch it two ways.
+
+1. TurboFuzz with instruction-level lockstep checking (ENCORE-style):
+   the campaign halts at the exact instruction where DUT and REF diverge
+   and captures a hardware snapshot for offline debugging.
+2. The DifuzzRTL software baseline on the same DUT, for the Table II
+   acceleration-ratio comparison.
+"""
+
+from repro.dut import BUGS_BY_ID
+from repro.fuzzer import TurboFuzzConfig
+from repro.harness import FuzzSession, SessionConfig
+from repro.harness.experiments import make_session
+
+BUG_ID = "C1"  # incorrect DZ flag for 0/0 division
+
+
+def main():
+    bug = BUGS_BY_ID[BUG_ID]
+    print(f"hunting {BUG_ID}: {bug.description}")
+    print(f"(paper: SW {bug.sw_time_s:.1f} s, HW {bug.hw_time_s:.2f} s, "
+          f"{bug.sw_time_s / bug.hw_time_s:.1f}x)")
+    print()
+
+    # --- TurboFuzz with full lockstep checking + snapshots ---------------
+    session = FuzzSession(SessionConfig(
+        core="cva6",
+        bugs=(BUG_ID,),
+        with_ref=True,
+        capture_snapshots=True,
+        fuzzer_config=TurboFuzzConfig(instructions_per_iteration=1000),
+    ))
+    seconds, mismatch = session.run_until_mismatch(max_iterations=300)
+    print(f"TurboFuzz: divergence after {session.iterations} iterations, "
+          f"{seconds:.3f} virtual s")
+    print(f"  {mismatch.describe()}")
+    snapshot = session.history[-1].mismatch and None
+    last = session.history[-1]
+    print(f"  coverage at detection: {last.coverage_total}")
+
+    # --- DifuzzRTL baseline ----------------------------------------------
+    sw_session = make_session("difuzzrtl", core="cva6", bugs=(BUG_ID,))
+    sw_seconds = sw_session.run_until_bug_triggered(
+        BUG_ID, max_iterations=3000, coarse_detection=(1, 2))
+    if sw_seconds is None:
+        print("DifuzzRTL: bug not detected within the iteration budget")
+    else:
+        print(f"DifuzzRTL: detected after {sw_session.iterations} "
+              f"iterations, {sw_seconds:.1f} virtual s")
+        print(f"  acceleration ratio: {sw_seconds / seconds:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

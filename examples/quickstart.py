@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: fuzz the Rocket core for a few hundred iterations.
+
+Builds a TurboFuzz session (Rocket DUT + optimized 15-bit register-coverage
+instrumentation + the hardware-timing model), runs a short campaign, and
+prints the coverage trajectory and fuzzer statistics.
+"""
+
+from repro.fuzzer import TurboFuzzConfig
+from repro.harness import FuzzSession, SessionConfig
+
+
+def main():
+    config = SessionConfig(
+        core="rocket",
+        instrument_style="optimized",
+        max_state_size=15,
+        fuzzer_config=TurboFuzzConfig(instructions_per_iteration=1000),
+    )
+    session = FuzzSession(config)
+
+    print("fuzzing Rocket (1000 instructions/iteration)...")
+    for index in range(60):
+        outcome = session.run_iteration()
+        if index % 10 == 0:
+            print(
+                f"  iter {index:3d}: coverage={outcome.coverage_total:>7d} "
+                f"(+{outcome.new_coverage}) prevalence="
+                f"{outcome.prevalence:.3f} virtual t="
+                f"{outcome.virtual_seconds * 1e3:7.1f} ms"
+            )
+
+    print()
+    print(f"total coverage points: {session.coverage_total}")
+    print("coverage by module:")
+    for name, count in session.coverage.counts_by_module().items():
+        print(f"  {name:10s} {count:>7d}")
+    print()
+    stats = session.fuzzer.stats
+    print(f"fuzzing speed: {session.iteration_rate_hz():.1f} Hz (virtual)")
+    print(f"executed instructions/s: {session.executed_per_second():,.0f}")
+    print(f"corpus: {len(session.fuzzer.corpus)} seeds "
+          f"({stats.seeds_added} added)")
+    print(f"blocks: {stats.blocks_generated} generated, "
+          f"{stats.blocks_retained} retained, "
+          f"{stats.blocks_deleted} deleted")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Hardware-snapshot debugging workflow (paper Section III).
+
+Fuzz a buggy BOOM until the checker halts, capture the full design state,
+serialize it (the FPGA-readback-to-host transfer), restore it into a fresh
+core, and replay the run deterministically — the StateMover-style offline
+analysis loop TurboFuzz automates.
+"""
+
+from repro.dut import make_core
+from repro.fuzzer import TurboFuzzConfig
+from repro.harness import FuzzSession, HardwareSnapshot, SessionConfig
+
+
+def main():
+    session = FuzzSession(SessionConfig(
+        core="boom",
+        bugs=("B2",),  # invalid frm silently accepted
+        with_ref=True,
+        capture_snapshots=True,
+        fuzzer_config=TurboFuzzConfig(instructions_per_iteration=800),
+    ))
+    seconds, mismatch = session.run_until_mismatch(max_iterations=200)
+    print(f"mismatch after {seconds:.3f} virtual s:")
+    print(f"  {mismatch.describe()}")
+
+    snapshot = HardwareSnapshot.capture(session.core,
+                                        annotation=mismatch.describe())
+    blob = snapshot.to_bytes()
+    print(f"\nsnapshot captured: {len(blob):,} bytes serialized "
+          f"({snapshot.resident_memory_bytes:,} bytes of design memory)")
+    print(f"  cycles={snapshot.cycles:.0f} retired={snapshot.retired}")
+    print(f"  coverage at capture: {snapshot.coverage_counts}")
+
+    # Host-side restore into a fresh core (the offline simulator stand-in).
+    replay_core = make_core("boom", bugs=("B2",))
+    HardwareSnapshot.from_bytes(blob).restore(replay_core)
+    print("\nreplaying 5 instructions from the snapshot point:")
+    for _ in range(5):
+        record = replay_core.step()
+        from repro.isa.disasm import disassemble
+
+        print(f"  {record.pc:#010x}: {disassemble(record.word)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+The sandboxed environment has no network access and an old setuptools that
+cannot build PEP-517 editable wheels; `python setup.py develop` (or
+`pip install -e . --no-build-isolation` on newer toolchains) both work via
+this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,202 @@
+"""DifuzzRTL baseline (Hur et al., S&P 2021) — behavioural model.
+
+Captures the properties the paper measures against:
+
+* coverage-guided mutation over a **FIFO** corpus (the scheduling the
+  paper's Section IV-D improves on),
+* **unconstrained forward jumps**: a control-flow instruction lands
+  uniformly in the remaining iteration (paper eq. 1), so execution skips
+  most generated instructions,
+* **heavy per-iteration setup routines** (register-file initialization),
+  which drag prevalence below 0.2 (Fig. 4 / Fig. 8),
+* raw operand randomization: any register (including the harness base
+  registers) and unconstrained displacements, so memory operations
+  frequently fault.
+
+Instruction generation quality — not the coverage metric — is what
+differentiates it from TurboFuzz; it shares the instruction library and
+runs on the same DUT + instrumentation.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.fuzzer.blocks import InstructionBlock, Iteration, StimulusEntry
+from repro.fuzzer.context import MemoryLayout
+from repro.fuzzer.instrlib import InstructionLibrary
+from repro.fuzzer.lfsr import Lfsr
+from repro.isa.encoder import encode
+from repro.isa.instructions import Category, Extension
+
+
+@dataclass
+class DifuzzRtlConfig:
+    """DifuzzRTL knobs (defaults match the Table I operating point)."""
+
+    instructions_per_iteration: int = 1000
+    setup_instructions: int = 140  # per-iteration register init routines
+    corpus_capacity: int = 64
+    mutation_prob: tuple = (1, 2)  # mutate a stored seed vs generate fresh
+    flip_bits: int = 4             # AFL-style bit flips per mutation
+    control_flow_weight: int = 6   # yields the >1/6 cf share of Fig. 4
+    extensions: frozenset = field(
+        default_factory=lambda: frozenset(
+            {Extension.I, Extension.M, Extension.A, Extension.F,
+             Extension.D, Extension.ZICSR, Extension.SYSTEM}
+        )
+    )
+    seed: int = 0xD1F055
+
+
+class DifuzzRtlFuzzer:
+    """Coverage-guided software fuzzer with FIFO corpus scheduling."""
+
+    name = "difuzzrtl"
+
+    def __init__(self, config=None, layout=None):
+        self.config = config or DifuzzRtlConfig()
+        self.layout = layout or MemoryLayout()
+        self.lfsr = Lfsr(self.config.seed)
+        # jalr through a garbage register is an instant wild jump; the real
+        # DifuzzRTL generator sticks to direct jumps for the same reason.
+        self.library = InstructionLibrary(self.config.extensions,
+                                          exclude=("jalr",))
+        self._weights = {
+            Category.BRANCH: self.config.control_flow_weight,
+            Category.JUMP: self.config.control_flow_weight,
+            Category.SYSTEM: 0,
+        }
+        self.corpus = []  # FIFO of word lists
+        self.iterations = 0
+        self._pending = None
+
+    # -- generation ------------------------------------------------------------
+    def _setup_routine(self):
+        """Register-file initialization: the non-fuzzing routine code."""
+        words = []
+        lfsr = self.lfsr
+        budget = self.config.setup_instructions
+        counter = 0
+        while len(words) < budget:
+            # Integer pool 7..28 keeps the harness pointer registers
+            # (x5/x6) intact, like the real tool's reserved registers.
+            register = 7 + (counter % 22)
+            if counter % 3 == 2:
+                # move an initialized integer pattern into the FP file;
+                # every fourth move seeds a zero (fresh register files
+                # come up zeroed, which the real tool also relies on).
+                source = 0 if counter % 12 == 2 else register
+                words.append(encode("fmv.d.x", rd=counter % 32, rs1=source))
+            elif counter % 2:
+                words.append(
+                    encode("addi", rd=register, rs1=register,
+                           imm=lfsr.bits(11))
+                )
+            else:
+                words.append(
+                    encode("lui", rd=register, imm=lfsr.bits(19) << 12)
+                )
+            counter += 1
+        return words[:budget]
+
+    def _random_word(self, index, total):
+        """One raw random instruction (DifuzzRTL's generation quality)."""
+        lfsr = self.lfsr
+        spec = self.library.sample_weighted(lfsr, self._weights)
+        fmt = spec.fmt
+        if fmt == "B":
+            word = encode(spec.name, rs1=lfsr.below(30), rs2=lfsr.below(30), imm=4)
+            return word, "branch", self._far_target(index, total)
+        if spec.name == "jal":
+            word = encode("jal", rd=lfsr.below(30), imm=4)
+            return word, "jal", self._far_target(index, total)
+        # Everything else: mostly-raw operand randomization.  Memory ops
+        # use the managed base register most of the time (DifuzzRTL does
+        # maintain a memory map) but occasionally a garbage register, and
+        # rounding modes are drawn from a pool with a small invalid share —
+        # both cause the occasional iteration-killing fault.
+        if spec.is_memory and lfsr.chance((7, 8)):
+            rs1 = 5  # the managed data base register
+        else:
+            rs1 = lfsr.below(30)
+        try:
+            word = encode(
+                spec.name,
+                rd=lfsr.below(30),
+                rs1=rs1,
+                rs2=lfsr.below(30),
+                rs3=lfsr.below(30),
+                imm=lfsr.bits(11) - 1024,
+                csr=lfsr.choice((0x001, 0x002, 0x003, 0x300, 0x340, 0x341,
+                                 0x342, 0x343, 0xB02)),
+                shamt=lfsr.below(32 if fmt == "R_SHW" else 64),
+                rm=lfsr.choice((0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 7, 7, 7, 7, 7, 5)),
+                zimm=lfsr.bits(5),
+            )
+        except Exception:
+            word = encode("addi", rd=lfsr.below(30), rs1=lfsr.below(30),
+                          imm=lfsr.bits(11))
+        return word, "", None
+
+    def _far_target(self, index, total):
+        """Unbounded forward target (eq. 1's uniform landing)."""
+        if index + 1 >= total:
+            return None
+        return index + 1 + self.lfsr.below(total - index - 1)
+
+    def _generate_words(self):
+        blocks = []
+        total = self.config.instructions_per_iteration
+        for index in range(total):
+            word, cf_kind, target = self._random_word(index, total)
+            entry = StimulusEntry(
+                word,
+                needs_target_patch=cf_kind != "" and target is not None,
+                patch_kind=cf_kind if cf_kind else "",
+            )
+            blocks.append(
+                InstructionBlock(
+                    prime_name="addi" if not cf_kind else
+                    ("jal" if cf_kind == "jal" else "beq"),
+                    entries=[entry],
+                    cf_kind=cf_kind,
+                    target_block=target,
+                )
+            )
+        return blocks
+
+    def _mutate_blocks(self, parent_blocks):
+        """AFL-style bit flips over the stored stimulus."""
+        lfsr = self.lfsr
+        blocks = [block.clone() for block in parent_blocks]
+        for _ in range(self.config.flip_bits):
+            victim = blocks[lfsr.below(len(blocks))]
+            entry = victim.entries[0]
+            if entry.needs_target_patch:
+                continue
+            entry.word ^= 1 << (7 + lfsr.below(25))
+        return blocks
+
+    def generate_iteration(self, instruction_budget=None):
+        """Next iteration: mutate a stored seed or generate fresh."""
+        if self.corpus and self.lfsr.chance(self.config.mutation_prob):
+            blocks = self._mutate_blocks(self.lfsr.choice(self.corpus))
+        else:
+            blocks = self._generate_words()
+        iteration = Iteration(
+            blocks=blocks,
+            layout=self.layout,
+            data_seed=self.lfsr.next(),
+            setup_words=self._setup_routine(),
+        )
+        iteration.assemble()
+        self.iterations += 1
+        self._pending = iteration
+        return iteration
+
+    # -- feedback ----------------------------------------------------------------
+    def feedback(self, iteration, coverage_increment):
+        """Coverage-guided, FIFO-evicted corpus insertion."""
+        if coverage_increment > 0:
+            self.corpus.append([block.clone() for block in iteration.blocks])
+            if len(self.corpus) > self.config.corpus_capacity:
+                self.corpus.pop(0)  # FIFO: oldest seed goes first

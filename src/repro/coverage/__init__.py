@@ -1,0 +1,52 @@
+"""Register-coverage instrumentation (paper Section VI).
+
+Two layouts are implemented:
+
+* :class:`LegacyLayout` — the DifuzzRTL-style scheme: each control register
+  is shifted by a *random* amount inside ``maxStateSize``, zero-padded, and
+  the shifted values are XORed into the coverage index.  This creates both
+  the *modulo bias* and the *unreachable points* the paper criticises.
+* :class:`OptimizedLayout` — the paper's fix: registers are packed
+  sequentially; when a register would overflow the threshold its offset
+  rolls back per eq. (2) ``new_offset = (last_offset + W) % maxStateSize``,
+  i.e. placement wraps modularly, eliminating empty (never-reachable)
+  positions.
+
+Per-module feedback weighting (the auxiliary shift register on ``N_cov``)
+lives in :mod:`repro.coverage.weighting`; exact reachability analysis for
+Fig. 6 in :mod:`repro.coverage.reachability`.
+"""
+
+from repro.coverage.layout import (
+    InstrumentationLayout,
+    LegacyLayout,
+    OptimizedLayout,
+    make_layout,
+)
+from repro.coverage.map import CoverageMap
+from repro.coverage.instrument import (
+    ModuleCoverage,
+    DesignCoverage,
+    instrument_design,
+)
+from repro.coverage.weighting import FeedbackWeights
+from repro.coverage.reachability import (
+    achievable_points,
+    design_reachability,
+    reachability_report,
+)
+
+__all__ = [
+    "InstrumentationLayout",
+    "LegacyLayout",
+    "OptimizedLayout",
+    "make_layout",
+    "CoverageMap",
+    "ModuleCoverage",
+    "DesignCoverage",
+    "instrument_design",
+    "FeedbackWeights",
+    "achievable_points",
+    "design_reachability",
+    "reachability_report",
+]

@@ -1,0 +1,149 @@
+"""Coverage index layouts: how control-register bits map into the index.
+
+A layout assigns every control register a *contribution function*
+``value -> index_bits``; the module's coverage index is the XOR of all
+contributions.  Layouts are deterministic given a seed, so instrumentation
+is reproducible across runs (a requirement for corpus replay).
+"""
+
+import random
+
+
+def _rotl(value, amount, width_bits):
+    """Rotate ``value`` left by ``amount`` inside a ``width_bits`` field."""
+    amount %= width_bits
+    mask = (1 << width_bits) - 1
+    value &= mask
+    return ((value << amount) | (value >> (width_bits - amount))) & mask
+
+
+class InstrumentationLayout:
+    """Base class: owns the register list and the contribution tables."""
+
+    style = "base"
+
+    def __init__(self, registers, max_state_size, seed=0):
+        self.registers = list(registers)
+        self.max_state_size = max_state_size
+        self.seed = seed
+        self.mask = (1 << max_state_size) - 1
+        self.placements = self._place()
+
+    # -- subclass API ---------------------------------------------------------
+    def _place(self):
+        """Return one placement descriptor per register."""
+        raise NotImplementedError
+
+    def contribution(self, position, value):
+        """Index bits contributed by register ``position`` holding ``value``."""
+        raise NotImplementedError
+
+    @property
+    def instrumented_points(self):
+        """Number of coverage points this layout claims to instrument."""
+        raise NotImplementedError
+
+    # -- shared ---------------------------------------------------------------
+    @property
+    def total_register_bits(self):
+        return sum(register.width for register in self.registers)
+
+    def index(self, values):
+        """Full index from a value per register (slow path; collectors keep
+        a running index incrementally instead)."""
+        result = 0
+        for position, value in enumerate(values):
+            result ^= self.contribution(position, value)
+        return result
+
+    def covered_positions(self):
+        """Bit positions of the index that at least one register can drive."""
+        covered = 0
+        for position, register in enumerate(self.registers):
+            all_ones = (1 << register.width) - 1
+            covered |= self.contribution(position, all_ones)
+            # Rotation can spread bits; OR a couple of patterns for safety.
+            covered |= self.contribution(position, 0b0101 & all_ones)
+            covered |= self.contribution(position, 0b1010 & all_ones)
+        return covered
+
+
+class LegacyLayout(InstrumentationLayout):
+    """Random shift + zero padding + XOR (the SOTA scheme the paper fixes).
+
+    Shift amounts are drawn uniformly from ``[0, maxStateSize - 1]``; bits
+    shifted beyond the threshold are *discarded* (the zero padding), which
+    is precisely what leaves some index positions undrivable and therefore
+    creates unreachable coverage points.
+    """
+
+    style = "legacy"
+
+    def _place(self):
+        rng = random.Random(self.seed)
+        return [rng.randrange(self.max_state_size) for _ in self.registers]
+
+    def contribution(self, position, value):
+        shift = self.placements[position]
+        register = self.registers[position]
+        value &= (1 << register.width) - 1
+        return (value << shift) & self.mask
+
+    @property
+    def instrumented_points(self):
+        # The legacy scheme always allocates the full 2**maxStateSize buffer.
+        return 1 << self.max_state_size if self.registers else 0
+
+
+class OptimizedLayout(InstrumentationLayout):
+    """Sequential placement with modular rollback (paper eq. 2).
+
+    Registers are packed back to back; when ``offset + width`` exceeds the
+    threshold the offset wraps via ``(last_offset + W) % maxStateSize`` and
+    the placed bits rotate around the index, so every index position is
+    driven by real register bits — no empty states.
+    """
+
+    style = "optimized"
+
+    def _place(self):
+        offsets = []
+        offset = 0
+        for register in self.registers:
+            offsets.append(offset)
+            offset = (offset + register.width) % self.max_state_size
+        return offsets
+
+    def contribution(self, position, value):
+        offset = self.placements[position]
+        register = self.registers[position]
+        value &= (1 << register.width) - 1
+        return _rotl(value, offset, self.max_state_size)
+
+    @property
+    def instrumented_points(self):
+        if not self.registers:
+            return 0
+        # The optimized instrumentation "eliminates potential empty states":
+        # the FIRRTL-stage pass knows each register's reachable domain (FSM
+        # encodings, counter bounds), so the allocated point space is the
+        # product of domain sizes, capped by the index width.
+        product = 1
+        cap = 1 << self.max_state_size
+        for register in self.registers:
+            product *= register.domain_size
+            if product >= cap:
+                return cap
+        return product
+
+
+_STYLES = {"legacy": LegacyLayout, "optimized": OptimizedLayout}
+
+
+def make_layout(style, registers, max_state_size, seed=0):
+    """Factory: build a layout by style name (``legacy`` / ``optimized``)."""
+    try:
+        cls = _STYLES[style]
+    except KeyError:
+        raise ValueError(f"unknown instrumentation style {style!r}") from None
+    return cls(registers, max_state_size, seed=seed)

@@ -1,0 +1,63 @@
+"""Coverage maps: sparse sets of observed coverage-point indices."""
+
+
+class CoverageMap:
+    """Observed coverage points for one instrumented module.
+
+    Sparse (a set) because even long campaigns observe a small fraction of
+    the instrumented space; ``observe`` returns whether the point is new,
+    which is the fuzzer's feedback signal.
+    """
+
+    def __init__(self, instrumented_points):
+        self.instrumented_points = instrumented_points
+        self._seen = set()
+
+    def observe(self, index):
+        """Record an index; True when it is a newly covered point."""
+        if index in self._seen:
+            return False
+        self._seen.add(index)
+        return True
+
+    def observe_many(self, indices):
+        """Bulk observation; returns the number of new points."""
+        before = len(self._seen)
+        self._seen.update(indices)
+        return len(self._seen) - before
+
+    @property
+    def count(self):
+        """Number of covered points."""
+        return len(self._seen)
+
+    @property
+    def density(self):
+        """Fraction of the instrumented space covered."""
+        if not self.instrumented_points:
+            return 0.0
+        return len(self._seen) / self.instrumented_points
+
+    def merge(self, other):
+        """Union another map into this one; returns newly added count."""
+        before = len(self._seen)
+        self._seen |= other._seen
+        return len(self._seen) - before
+
+    def copy(self):
+        clone = CoverageMap(self.instrumented_points)
+        clone._seen = set(self._seen)
+        return clone
+
+    def snapshot(self):
+        """Frozen view of the covered indices."""
+        return frozenset(self._seen)
+
+    def clear(self):
+        self._seen.clear()
+
+    def __contains__(self, index):
+        return index in self._seen
+
+    def __len__(self):
+        return len(self._seen)

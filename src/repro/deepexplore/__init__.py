@@ -1,0 +1,24 @@
+"""deepExplore: the hybrid direct-test + fuzzing scheme (paper Section V).
+
+Stage 1 extracts representative instruction intervals from benchmarks with
+a SimPoint-style analysis (basic-block vectors + k-means), runs them on the
+DUT to build high-quality corpus seeds, and lightly mutates their
+initialization states until coverage plateaus.  Stage 2 hands the enriched
+corpus to the TurboFuzzer for high-throughput exploration.
+"""
+
+from repro.deepexplore.bbv import BasicBlockVectorCollector, IntervalRecord
+from repro.deepexplore.simpoint import SimPoint, kmeans, select_simpoints
+from repro.deepexplore.intervals import build_interval_seed
+from repro.deepexplore.engine import DeepExplore, DeepExploreConfig
+
+__all__ = [
+    "BasicBlockVectorCollector",
+    "IntervalRecord",
+    "SimPoint",
+    "kmeans",
+    "select_simpoints",
+    "build_interval_seed",
+    "DeepExplore",
+    "DeepExploreConfig",
+]

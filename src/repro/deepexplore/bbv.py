@@ -1,0 +1,94 @@
+"""Basic-block vector collection over a DUT execution.
+
+SimPoint's profile unit: execution is split into fixed-size intervals; each
+interval is summarized by the execution frequency of each basic block
+(identified by its leader PC).  The collector also records the
+architectural snapshot at each interval boundary and the interval's code
+span and coverage increment — everything stage 1 needs to rebuild the
+interval as an executable seed.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IntervalRecord:
+    """One profiling interval."""
+
+    index: int
+    bbv: dict                 # leader pc -> execution count
+    start_snapshot: dict      # ArchState.snapshot() at interval entry
+    min_pc: int = None
+    max_pc: int = None
+    coverage_increment: int = 0
+    instructions: int = 0
+
+    def vector_on(self, leader_order):
+        """Densify the BBV onto a fixed leader ordering."""
+        return [self.bbv.get(leader, 0) for leader in leader_order]
+
+
+class BasicBlockVectorCollector:
+    """Streams committed instructions into interval BBVs."""
+
+    def __init__(self, core, interval_length=1000):
+        self.core = core
+        self.interval_length = interval_length
+        self.intervals = []
+        self._current = None
+        self._leader = None
+        self._prev_was_cf = True  # first instruction starts a block
+
+    def _open_interval(self):
+        start_points = (
+            self.core.coverage.total_points if self.core.coverage else 0
+        )
+        self._current = IntervalRecord(
+            index=len(self.intervals),
+            bbv={},
+            start_snapshot=self.core.state.snapshot(),
+        )
+        self._start_points = start_points
+
+    def observe(self, record):
+        """Feed one commit record; closes intervals as they fill."""
+        if self._current is None:
+            self._open_interval()
+        interval = self._current
+        pc = record.pc
+        if self._prev_was_cf:
+            self._leader = pc
+        leader = self._leader
+        interval.bbv[leader] = interval.bbv.get(leader, 0) + 1
+        interval.instructions += 1
+        if interval.min_pc is None or pc < interval.min_pc:
+            interval.min_pc = pc
+        if interval.max_pc is None or pc > interval.max_pc:
+            interval.max_pc = pc
+        self._prev_was_cf = (
+            record.trap is not None or record.next_pc != pc + 4
+        )
+        if interval.instructions >= self.interval_length:
+            self._close_interval()
+
+    def _close_interval(self):
+        interval = self._current
+        if self.core.coverage:
+            interval.coverage_increment = (
+                self.core.coverage.total_points - self._start_points
+            )
+        self.intervals.append(interval)
+        self._current = None
+
+    def finish(self):
+        """Close any partial interval and return the full list."""
+        if self._current is not None and self._current.instructions:
+            self._close_interval()
+        return self.intervals
+
+    def leader_order(self):
+        """Stable union of all leaders across intervals."""
+        leaders = set()
+        for interval in self.intervals:
+            leaders.update(interval.bbv)
+        return sorted(leaders)

@@ -1,0 +1,97 @@
+"""SimPoint selection: k-means over basic-block vectors.
+
+A deterministic Lloyd's k-means (k-means++ style seeding from a seeded
+PRNG) over L1-normalized BBVs; one representative interval — the one
+closest to its cluster centroid — is selected per cluster and weighted by
+cluster population, exactly as Sherwood et al. describe.
+"""
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SimPoint:
+    """One representative interval."""
+
+    interval_index: int
+    cluster: int
+    weight: float  # fraction of intervals in this cluster
+
+
+def _normalize(matrix):
+    sums = matrix.sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    return matrix / sums
+
+
+def kmeans(matrix, k, seed=0, max_iterations=50):
+    """Deterministic Lloyd's k-means; returns (assignments, centroids)."""
+    count = matrix.shape[0]
+    k = min(k, count)
+    rng = random.Random(seed)
+    # k-means++ seeding
+    centroid_rows = [rng.randrange(count)]
+    for _ in range(k - 1):
+        centroids = matrix[centroid_rows]
+        distances = ((matrix[:, None, :] - centroids[None, :, :]) ** 2).sum(-1)
+        nearest = distances.min(axis=1)
+        total = float(nearest.sum())
+        if total == 0:
+            centroid_rows.append(rng.randrange(count))
+            continue
+        pick = rng.random() * total
+        cumulative = 0.0
+        for row in range(count):
+            cumulative += float(nearest[row])
+            if cumulative >= pick:
+                centroid_rows.append(row)
+                break
+    centroids = matrix[centroid_rows].astype(float)
+
+    assignments = np.zeros(count, dtype=int)
+    for _ in range(max_iterations):
+        distances = ((matrix[:, None, :] - centroids[None, :, :]) ** 2).sum(-1)
+        new_assignments = distances.argmin(axis=1)
+        if np.array_equal(new_assignments, assignments):
+            break
+        assignments = new_assignments
+        for cluster in range(k):
+            members = matrix[assignments == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return assignments, centroids
+
+
+def select_simpoints(intervals, k=8, seed=0):
+    """Cluster intervals and pick one representative per cluster.
+
+    Returns a list of :class:`SimPoint` sorted by weight, heaviest first.
+    """
+    if not intervals:
+        return []
+    leaders = sorted({leader for interval in intervals for leader in interval.bbv})
+    matrix = np.array(
+        [interval.vector_on(leaders) for interval in intervals], dtype=float
+    )
+    matrix = _normalize(matrix)
+    assignments, centroids = kmeans(matrix, k, seed=seed)
+    simpoints = []
+    for cluster in range(centroids.shape[0]):
+        member_rows = np.flatnonzero(assignments == cluster)
+        if not len(member_rows):
+            continue
+        member_vectors = matrix[member_rows]
+        distances = ((member_vectors - centroids[cluster]) ** 2).sum(axis=1)
+        representative = int(member_rows[int(distances.argmin())])
+        simpoints.append(
+            SimPoint(
+                interval_index=representative,
+                cluster=cluster,
+                weight=len(member_rows) / len(intervals),
+            )
+        )
+    simpoints.sort(key=lambda point: -point.weight)
+    return simpoints

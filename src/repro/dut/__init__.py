@@ -1,0 +1,48 @@
+"""DUT cores: cycle-approximate micro-architectural models of the paper's
+three evaluation targets.
+
+* :class:`RocketCore` — 64-bit in-order 5-stage (the main evaluation DUT)
+* :class:`Cva6Core` — single-issue 6-stage application core
+* :class:`BoomCore` — superscalar out-of-order core
+
+Each core couples the architectural executor (with injectable Table II bug
+hooks) to a structural RTL-IR netlist whose control registers are updated
+behaviourally every instruction, so register-coverage instrumentation sees
+the same kind of state the paper's FIRRTL pass instruments.
+"""
+
+from repro.dut.bugs import Bug, BUGS, BUGS_BY_ID, BuggyHooks, bugs_for_core
+from repro.dut.core import DutCore
+from repro.dut.rocket import RocketCore
+from repro.dut.cva6 import Cva6Core
+from repro.dut.boom import BoomCore
+
+CORE_CLASSES = {
+    "rocket": RocketCore,
+    "cva6": Cva6Core,
+    "boom": BoomCore,
+}
+
+
+def make_core(name, **kwargs):
+    """Instantiate a DUT core by name (``rocket`` / ``cva6`` / ``boom``)."""
+    try:
+        cls = CORE_CLASSES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown core {name!r}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Bug",
+    "BUGS",
+    "BUGS_BY_ID",
+    "BuggyHooks",
+    "bugs_for_core",
+    "DutCore",
+    "RocketCore",
+    "Cva6Core",
+    "BoomCore",
+    "CORE_CLASSES",
+    "make_core",
+]

@@ -1,0 +1,196 @@
+"""The Table II bug inventory and its injection hooks.
+
+Every bug is an architecturally-visible deviation from correct semantics,
+implemented as an override in :class:`BuggyHooks` guarded by the bug id.
+The REF model never installs these hooks, so a DUT/REF commit-record
+mismatch occurs exactly when a stimulus *triggers* the bug — reproducing
+the paper's time-to-bug experiments.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa import csr as CSR
+from repro.ref.executor import ExecHooks
+from repro.softfloat import F32, F64
+from repro.softfloat.formats import (
+    inf_bits_signed,
+    is_inf,
+    is_nan,
+    is_zero,
+    sign_of,
+)
+
+
+@dataclass(frozen=True)
+class Bug:
+    """One entry of the paper's Table II."""
+
+    bug_id: str
+    core: str
+    description: str
+    sw_time_s: float  # paper: software fuzzer detection time
+    hw_time_s: float  # paper: TurboFuzz detection time
+
+
+BUGS = (
+    Bug("C1", "cva6", "Incorrect setting of DZ flag for 0/0 division", 39.53, 1.03),
+    Bug("C2", "cva6", "Incorrect fflags set when fdiv divides by infinity (single)", 701.95, 1.48),
+    Bug("C3", "cva6", "Wrong handling of invalid NaN-boxed single-precision fdiv", 931.30, 1.63),
+    Bug("C4", "cva6", "Same as C2 (double precision)", 445.28, 1.31),
+    Bug("C5", "cva6", "Double-precision multiplication yields wrong sign when rounding down", 35.64, 1.03),
+    Bug("C6", "cva6", "Duplicate of C3 (another stimulus)", 442.63, 1.31),
+    Bug("C7", "cva6", "Co-simulation mismatch when reading stval CSR", 19.48, 1.01),
+    Bug("C8", "cva6", "RV32A enabled without RV64A fails to raise exception", 581.21, 1.42),
+    Bug("C9", "cva6", "fdiv returns infinity when dividing by 0", 610.81, 1.42),
+    Bug("C10", "cva6", "Division of +0 by a normal value results in -0", 844.18, 1.58),
+    Bug("B1", "boom", "Floating-point rounding mode not working correctly", 457.99, 1.31),
+    Bug("B2", "boom", "FP instruction with invalid frm does not raise exception", 358.60, 1.24),
+    Bug("R1", "rocket", "Executing ebreak does not increment minstret", 18.22, 1.01),
+)
+
+BUGS_BY_ID = {bug.bug_id: bug for bug in BUGS}
+
+
+def bugs_for_core(core_name):
+    """All Table II bugs belonging to one core."""
+    return [bug for bug in BUGS if bug.core == core_name.lower()]
+
+
+class CorrectHooks(ExecHooks):
+    """Architecturally correct hooks honouring core configuration knobs.
+
+    ``rv32a_only`` models a CVA6 configuration with only RV32A wired up:
+    the correct behaviour is to raise illegal-instruction for ``.d`` AMOs
+    (which bug C8 fails to do).
+    """
+
+    def __init__(self, rv32a_only=False):
+        self.rv32a_only = rv32a_only
+
+    def amo_legal(self, spec):
+        if self.rv32a_only and spec.name.endswith(".d"):
+            return False
+        return True
+
+
+class BuggyHooks(CorrectHooks):
+    """Correct hooks plus a set of enabled Table II bugs."""
+
+    def __init__(self, bug_ids=(), rv32a_only=False):
+        super().__init__(rv32a_only=rv32a_only)
+        self.bug_ids = frozenset(bug_ids)
+        unknown = self.bug_ids - set(BUGS_BY_ID)
+        if unknown:
+            raise ValueError(f"unknown bug ids: {sorted(unknown)}")
+        self.triggered = set()  # bug ids whose condition has fired
+
+    def _fire(self, bug_id):
+        self.triggered.add(bug_id)
+
+    # --- rounding-mode bugs (B1, B2) -----------------------------------------
+    def resolve_rm(self, instr_rm, frm):
+        rm = frm if instr_rm == CSR.RM_DYN else instr_rm
+        if rm not in CSR.VALID_RMS:
+            if "B2" in self.bug_ids:
+                # Invalid frm silently falls back to RNE instead of trapping.
+                self._fire("B2")
+                return CSR.RM_RNE
+            return None
+        if "B1" in self.bug_ids and rm != CSR.RM_RNE:
+            # Rounding mode wiring broken: everything computes as RNE.
+            self._fire("B1")
+            return CSR.RM_RNE
+        return rm
+
+    # --- NaN boxing bugs (C3, C6) ----------------------------------------------
+    def nan_unbox(self, bits64):
+        if ("C3" in self.bug_ids or "C6" in self.bug_ids) and (
+            bits64 & 0xFFFFFFFF_00000000 != 0xFFFFFFFF_00000000
+        ):
+            # Invalid box used verbatim instead of the canonical NaN.
+            if "C3" in self.bug_ids:
+                self._fire("C3")
+            if "C6" in self.bug_ids:
+                self._fire("C6")
+            return bits64 & 0xFFFFFFFF
+        return super().nan_unbox(bits64)
+
+    # --- FPU result bugs (C1, C2, C4, C5, C9, C10) ------------------------------
+    def fp_post(self, name, fmt, operands, result, flags, rm):
+        bug_ids = self.bug_ids
+        if name == "fdiv" and len(operands) == 2:
+            dividend, divisor = operands
+            dividend_zero = is_zero(dividend, fmt)
+            divisor_zero = is_zero(divisor, fmt)
+            if "C1" in bug_ids and dividend_zero and divisor_zero:
+                # 0/0 must raise NV only; buggy unit also raises DZ.
+                self._fire("C1")
+                flags |= CSR.FFLAGS_DZ
+            if "C9" in bug_ids and dividend_zero and divisor_zero:
+                # 0/0 returns infinity (with DZ) instead of NaN (with NV).
+                self._fire("C9")
+                sign = sign_of(dividend, fmt) ^ sign_of(divisor, fmt)
+                result = inf_bits_signed(sign, fmt)
+                flags = CSR.FFLAGS_DZ
+            if divisor_zero is False and is_inf(divisor, fmt) and not is_nan(dividend, fmt):
+                if "C2" in bug_ids and fmt is F32 and not is_inf(dividend, fmt):
+                    # finite / inf = exact zero; buggy unit raises NX.
+                    self._fire("C2")
+                    flags |= CSR.FFLAGS_NX
+                if "C4" in bug_ids and fmt is F64 and not is_inf(dividend, fmt):
+                    self._fire("C4")
+                    flags |= CSR.FFLAGS_NX
+            if (
+                "C10" in bug_ids
+                and dividend_zero
+                and not divisor_zero
+                and not is_nan(divisor, fmt)
+                and not is_inf(divisor, fmt)
+                and sign_of(dividend, fmt) == 0
+                and sign_of(divisor, fmt) == 0
+            ):
+                # +0 / normal comes out as -0.
+                self._fire("C10")
+                result |= fmt.sign_bit
+        if (
+            "C5" in bug_ids
+            and name == "fmul"
+            and fmt is F64
+            and rm == CSR.RM_RDN
+            and len(operands) == 2
+            and sign_of(operands[0], fmt) != sign_of(operands[1], fmt)
+            and not is_nan(result, fmt)
+        ):
+            # Negative product loses its sign under round-down.
+            self._fire("C5")
+            result &= ~fmt.sign_bit
+        return result, flags
+
+    # --- CSR bug (C7) -------------------------------------------------------------
+    def csr_read(self, address, value):
+        if "C7" in self.bug_ids and address == CSR.STVAL:
+            # DUT returns a stale zero for stval.
+            if value != 0:
+                self._fire("C7")
+            return 0
+        return value
+
+    # --- AMO legality bug (C8) ------------------------------------------------------
+    def amo_legal(self, spec):
+        legal = super().amo_legal(spec)
+        if not legal and "C8" in self.bug_ids:
+            # The decoder fails to reject RV64A encodings.
+            self._fire("C8")
+            return True
+        return legal
+
+    # --- retirement bug (R1) ----------------------------------------------------------
+    def counts_minstret(self, decoded, trapped):
+        if (
+            "R1" in self.bug_ids
+            and decoded is not None
+            and decoded.name == "ebreak"
+        ):
+            self._fire("R1")
+            return False
+        return True

@@ -1,0 +1,63 @@
+"""Rocket: the 64-bit in-order 5-stage core (the paper's primary DUT).
+
+The netlist carries the shared micro-architectural modules plus bulk
+datapath nodes calibrated so :func:`repro.rtl.area.estimate_area` lands on
+the Table III resource footprint (308,739 LUTs / 20 BRAM36 / 170,400 FFs
+including instrumented cover points).
+"""
+
+from repro.dut.core import CoreTiming, DutCore
+
+
+class RocketCore(DutCore):
+    """64-bit in-order RV64GC-style Rocket model."""
+
+    name = "rocket"
+    top_name = "Rocket"
+    timing = CoreTiming(
+        base=1.0,
+        branch_taken=3.0,
+        jump=2.0,
+        load_hit=2.0,
+        store_hit=1.0,
+        cache_miss=22.0,
+        icache_miss=14.0,
+        mul=4.0,
+        div=33.0,
+        fp_arith=4.0,
+        fp_div=24.0,
+        fp_fma=5.0,
+        csr=3.0,
+        amo=12.0,
+        trap=5.0,
+    )
+
+    def _build_netlist(self):
+        self._common_modules()
+        top = self.top
+        # Bulk datapath (not in any mux-select cone, so it contributes area
+        # but is never instrumented as control registers).
+        execute = top.submodule("Execute")
+        execute.logic("int_datapath", width=64, lut_cost=100_000)
+        execute.register("pipe_data_regs", width=64_000)
+        fpu = top.submodule("FPU")
+        fpu.logic("fp_datapath", width=64, lut_cost=96_000)
+        fpu.register("fp_pipe_regs", width=46_000)
+        muldiv = top.submodule("MulDiv")
+        muldiv.logic("md_array", width=64, lut_cost=14_000)
+        muldiv.register("md_pipe_regs", width=6_000)
+        frontend = top.submodule("Frontend")
+        frontend.logic("fetch_datapath", width=64, lut_cost=22_000)
+        frontend.register("fetch_pipe_regs", width=22_000)
+        frontend.memory("l1l2_buffers", depth=4096, width=32)
+        lsu = top.submodule("LSU")
+        lsu.logic("lsu_datapath", width=64, lut_cost=28_000)
+        lsu.register("lsu_pipe_regs", width=20_000)
+        lsu.memory("victim_buffer", depth=1024, width=64)
+        csr_file = top.submodule("CSRFile")
+        csr_file.logic("csr_datapath", width=64, lut_cost=9_000)
+        csr_file.register("csr_regs", width=9_000)
+        ptw = top.submodule("PTW")
+        ptw.logic("ptw_datapath", width=64, lut_cost=4_000)
+        ptw.register("ptw_regs", width=2_600)
+        top.memory("int_regfile", depth=31, width=64)

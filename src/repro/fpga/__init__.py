@@ -1,0 +1,28 @@
+"""FPGA platform models: the Fidus Sidewinder board, VIO configuration,
+the vendor ILA (Table III's comparison point), and the TurboFuzz framework
+resource accounting."""
+
+from repro.fpga.vio import VioInterface
+from repro.fpga.ila import IlaConfig, IlaArea, ILA_CONFIG1, ILA_CONFIG2, estimate_ila
+from repro.fpga.board import SidewinderBoard, CorpusPlacement
+from repro.fpga.resources import (
+    fuzzer_ip_module,
+    checking_module,
+    framework_area,
+    table3_report,
+)
+
+__all__ = [
+    "VioInterface",
+    "IlaConfig",
+    "IlaArea",
+    "ILA_CONFIG1",
+    "ILA_CONFIG2",
+    "estimate_ila",
+    "SidewinderBoard",
+    "CorpusPlacement",
+    "fuzzer_ip_module",
+    "checking_module",
+    "framework_area",
+    "table3_report",
+]

@@ -1,0 +1,80 @@
+"""Fidus Sidewinder board model (Zynq UltraScale+ XCZU19EG + 32 GB DDR4).
+
+Tracks the resource budget and decides corpus placement: seeds live in
+on-chip BRAM while they fit (fast, limited) and spill to DDR otherwise —
+the storage hierarchy of paper Section IV-A.
+"""
+
+from dataclasses import dataclass
+
+from repro.rtl.area import (
+    BRAM36_BITS,
+    XCZU19EG_BRAMS,
+    XCZU19EG_LUTS,
+    XCZU19EG_REGS,
+)
+
+
+@dataclass(frozen=True)
+class CorpusPlacement:
+    """Where the corpus lives and what it costs."""
+
+    location: str  # "bram" | "ddr"
+    bytes_required: int
+    brams_required: int = 0
+
+    @property
+    def access_latency_cycles(self):
+        # BRAM: single-cycle; DDR: controller + burst latency.
+        return 1 if self.location == "bram" else 28
+
+
+class SidewinderBoard:
+    """Resource budget + placement decisions for one build."""
+
+    DDR_BYTES = 32 * (1 << 30)
+
+    def __init__(self, luts=XCZU19EG_LUTS, brams=XCZU19EG_BRAMS,
+                 registers=XCZU19EG_REGS):
+        self.luts = luts
+        self.brams = brams
+        self.registers = registers
+        self._committed = []
+
+    def commit(self, name, estimate):
+        """Reserve resources for a subsystem; raises when over budget."""
+        self._committed.append((name, estimate))
+        used = self.utilization()
+        if used[0] > 1.0 or used[1] > 1.0 or used[2] > 1.0:
+            self._committed.pop()
+            raise ValueError(
+                f"{name} does not fit: utilization would be "
+                f"{tuple(round(u, 3) for u in used)}"
+            )
+        return used
+
+    def utilization(self):
+        """(lut, bram, register) fractions currently committed."""
+        luts = sum(est.luts for _, est in self._committed)
+        brams = sum(est.brams for _, est in self._committed)
+        registers = sum(est.registers for _, est in self._committed)
+        return (luts / self.luts, brams / self.brams,
+                registers / self.registers)
+
+    def available_brams(self):
+        used = sum(est.brams for _, est in self._committed)
+        return self.brams - used
+
+    def place_corpus(self, seed_count, mean_seed_instructions,
+                     stimulus_entry_bits=66):
+        """Decide BRAM vs DDR placement for the corpus."""
+        bits = seed_count * mean_seed_instructions * stimulus_entry_bits
+        brams_needed = -(-bits // BRAM36_BITS)
+        if brams_needed <= self.available_brams():
+            return CorpusPlacement("bram", bits // 8, brams_needed)
+        if bits // 8 > self.DDR_BYTES:
+            raise ValueError("corpus exceeds DDR capacity")
+        return CorpusPlacement("ddr", bits // 8)
+
+    def committed(self):
+        return list(self._committed)

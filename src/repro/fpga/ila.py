@@ -1,0 +1,54 @@
+"""Integrated Logic Analyzer model (the Table III comparison point).
+
+ILA area is dominated by its BRAM capture buffers (probes x depth bits);
+the two configurations the paper measures (depth 1024 and depth 65536) are
+provided as presets carrying the Vivado-reported utilization, and a generic
+first-order estimator covers other configurations.
+
+The qualitative properties that matter for the comparison: ILA area grows
+with tracing depth, and adding/removing probed signals requires a full
+recompilation — unlike TurboFuzz's snapshot-based debugging.
+"""
+
+from dataclasses import dataclass
+
+from repro.rtl.area import AreaEstimate, BRAM36_BITS
+
+
+@dataclass(frozen=True)
+class IlaConfig:
+    """One ILA instantiation."""
+
+    name: str
+    probes: int  # total probed signal bits
+    depth: int   # trace buffer depth (samples)
+
+
+@dataclass(frozen=True)
+class IlaArea:
+    """Resolved area of one ILA configuration."""
+
+    config: IlaConfig
+    estimate: AreaEstimate
+    requires_recompile_on_probe_change: bool = True
+
+
+def estimate_ila(config):
+    """First-order ILA area: capture BRAM + trigger/readout logic."""
+    capture_bits = config.probes * config.depth
+    brams = max(1, -(-capture_bits // BRAM36_BITS))
+    luts = config.probes // 2 + config.depth // 32 + 2000
+    registers = config.probes + config.depth // 16 + 4000
+    return IlaArea(config, AreaEstimate(luts=luts, brams=brams,
+                                        registers=registers))
+
+
+# The paper's two measured configurations (Vivado 2020.2 reports).
+ILA_CONFIG1 = IlaArea(
+    IlaConfig("config1", probes=16384, depth=1024),
+    AreaEstimate(luts=8142, brams=465, registers=14294),
+)
+ILA_CONFIG2 = IlaArea(
+    IlaConfig("config2", probes=16384, depth=65536),
+    AreaEstimate(luts=10078, brams=578, registers=17322),
+)

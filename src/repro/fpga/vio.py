@@ -1,0 +1,71 @@
+"""Virtual IO model: runtime configuration of the fuzzer without
+recompilation.
+
+The paper exposes the instruction library subsets and the probability knobs
+through Xilinx VIO probes.  This model is a name -> handler registry with a
+small audit log, mirroring how the hardware build wires VIO outputs to
+configuration registers.
+"""
+
+
+class VioInterface:
+    """Named runtime controls bound to setter callbacks."""
+
+    def __init__(self):
+        self._controls = {}
+        self._values = {}
+        self.log = []
+
+    def register(self, name, setter, initial=None):
+        """Expose a control; ``setter(value)`` applies it to the design."""
+        if name in self._controls:
+            raise ValueError(f"control {name!r} already registered")
+        self._controls[name] = setter
+        self._values[name] = initial
+
+    def write(self, name, value):
+        """Drive a control from the host (a VIO probe write)."""
+        try:
+            setter = self._controls[name]
+        except KeyError:
+            raise KeyError(f"unknown VIO control {name!r}") from None
+        setter(value)
+        self._values[name] = value
+        self.log.append((name, value))
+
+    def read(self, name):
+        """Last value driven on a control."""
+        return self._values[name]
+
+    def controls(self):
+        return sorted(self._controls)
+
+    @classmethod
+    def for_fuzzer(cls, fuzzer):
+        """Standard control set for a TurboFuzzer instance: one enable per
+        ISA subset plus the headline probability knobs."""
+        vio = cls()
+        for extension in sorted(fuzzer.library.enabled_extensions,
+                                key=lambda ext: ext.value):
+            name = f"enable_{extension.value.lower()}"
+
+            def setter(value, ext=extension):
+                if value:
+                    fuzzer.library.enable(ext)
+                else:
+                    fuzzer.library.disable(ext)
+
+            vio.register(name, setter, initial=True)
+
+        def set_mutation_prob(value):
+            fuzzer.config.mutation_mode_prob = (int(value), 16)
+
+        vio.register("mutation_mode_prob_16ths", set_mutation_prob,
+                     initial=fuzzer.config.mutation_mode_prob[0])
+
+        def set_window(value):
+            fuzzer.config.jump_window_blocks = int(value)
+
+        vio.register("jump_window_blocks", set_window,
+                     initial=fuzzer.config.jump_window_blocks)
+        return vio

@@ -1,0 +1,154 @@
+"""Fuzzing context: memory layout, register conventions, operand generation.
+
+This is the paper's *fuzzing context module*: it manages symbol values to
+enforce memory-address requirements (3/4 data segment vs 1/4 instruction
+segment for reads; writes confined to the data region to prevent
+self-modifying code) and supplies operand values to the unified operand
+assignment stage.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.csr import FCSR, FFLAGS, FRM, MCAUSE, MEPC, MSCRATCH, MTVAL, STVAL
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Address-space layout of one fuzzing iteration.
+
+    Segments sit below 2**31 so LUI-built addresses need no sign-extension
+    fixups.  The data base registers point 2 KiB into their segments so any
+    12-bit signed displacement stays in range.
+    """
+
+    reset: int = 0x4000_0000
+    handler: int = 0x4000_0200
+    done: int = 0x4000_0400
+    blocks: int = 0x4000_1000
+    data: int = 0x4004_0000
+    data_size: int = 1 << 16
+    code_size: int = 1 << 18
+
+    @property
+    def data_base_reg_value(self):
+        return self.data + 0x800
+
+    @property
+    def instr_base_reg_value(self):
+        return self.blocks + 0x800
+
+    def memory_ranges(self):
+        """Legal windows for the iteration's SparseMemory."""
+        return [
+            (self.reset, self.code_size),
+            (self.data, self.data_size),
+        ]
+
+
+# Register conventions (shared by generator, templates, and checker):
+REG_DATA_BASE = 5    # t0 -> data segment base (+2 KiB)
+REG_INSTR_BASE = 6   # t1 -> instruction segment base (+2 KiB)
+REG_JALR_TEMP = 29   # t4 -> jalr target materialization
+REG_HANDLER_T0 = 30  # t5 -> clobbered by the trap handler
+REG_HANDLER_T1 = 31  # t6 -> clobbered by the trap handler
+
+# Destination pool: avoid zero/ra/sp plus the reserved registers above.
+_RD_POOL = tuple(
+    index for index in range(7, 29)
+)
+# Source pool: anything readable including x0 and the base registers.
+_RS_POOL = tuple(index for index in range(0, 30))
+
+# CSRs the generator may touch.  mtvec is excluded (it would tear down the
+# exception template); everything else is fair game — including stval,
+# which bug C7 needs to be read.
+_GENERATABLE_CSRS = (
+    FFLAGS, FRM, FCSR, MSCRATCH, MEPC, MCAUSE, MTVAL, STVAL,
+)
+# Writes are restricted to harmless CSRs.
+_WRITABLE_CSRS = (FFLAGS, FRM, FCSR, MSCRATCH)
+
+_VALID_RMS = (0, 1, 2, 3, 4, 7)
+_INVALID_RMS = (5, 6)
+
+
+class FuzzContext:
+    """Operand factory bound to one LFSR and one memory layout."""
+
+    def __init__(self, lfsr, config, layout=None):
+        self.lfsr = lfsr
+        self.config = config
+        self.layout = layout or MemoryLayout()
+
+    # -- register operands -----------------------------------------------------
+    def gen_rd(self):
+        return self.lfsr.choice(_RD_POOL)
+
+    def gen_rs(self):
+        return self.lfsr.choice(_RS_POOL)
+
+    def gen_freg(self):
+        return self.lfsr.below(32)
+
+    # -- immediates ----------------------------------------------------------------
+    def gen_imm12(self):
+        """Signed 12-bit immediate."""
+        return self.lfsr.bits(12) - (1 << 11)
+
+    def gen_shamt(self, word_variant=False):
+        return self.lfsr.below(32 if word_variant else 64)
+
+    def gen_uimm20(self):
+        return self.lfsr.bits(20)
+
+    def gen_rm(self):
+        """Rounding mode: usually valid, occasionally invalid (exercises
+        the illegal-instruction path and bug B2)."""
+        if self.lfsr.chance(self.config.invalid_rm_prob):
+            return self.lfsr.choice(_INVALID_RMS)
+        return self.lfsr.choice(_VALID_RMS)
+
+    # -- memory operands ----------------------------------------------------------------
+    def read_base_reg(self):
+        """Base register for a load: 3/4 data segment, 1/4 instruction
+        segment (user-configurable probability, paper Section IV-C)."""
+        if self.lfsr.chance(self.config.data_segment_prob):
+            return REG_DATA_BASE
+        return REG_INSTR_BASE
+
+    def write_base_reg(self):
+        """Stores always target the data segment (no self-modifying code)."""
+        return REG_DATA_BASE
+
+    def mem_offset(self, access_size):
+        """Naturally aligned signed displacement within the segment window."""
+        span = 1 << 11  # +/- 2 KiB around the base register
+        raw = self.lfsr.bits(11) - (span >> 1)
+        return raw & ~(access_size - 1)
+
+    def amo_offset(self, access_size):
+        """AMO addresses must be aligned; keep them in the data segment."""
+        return self.lfsr.bits(10) * access_size % (1 << 11)
+
+    # -- CSRs -------------------------------------------------------------------------------
+    def gen_csr(self, writable):
+        pool = _WRITABLE_CSRS if writable else _GENERATABLE_CSRS
+        return self.lfsr.choice(pool)
+
+    # -- control flow ---------------------------------------------------------------------------
+    def pick_jump_target(self, current_block, total_blocks, window=None):
+        """Pick a forward target block index.
+
+        ``window`` bounds the distance (the paper's jump-range limitation);
+        ``None`` reproduces the unbounded behaviour of prior fuzzers, whose
+        expected jump distance E_j = 1 + (L - p)/2 wastes most of the
+        iteration (paper eq. 1).
+        """
+        first = current_block + 1
+        if first >= total_blocks:
+            return None
+        if window is None:
+            last = total_blocks - 1
+        else:
+            last = min(total_blocks - 1, current_block + window)
+        return first + self.lfsr.below(last - first + 1)

@@ -1,0 +1,122 @@
+"""Seeds and corpus scheduling (paper Section IV-D).
+
+Seeds store valuable instruction sequences with metadata.  The paper's
+optimization replaces FIFO eviction with *coverage-increment* scheduling:
+
+* generation mode: a new test case enters the corpus only when it improved
+  coverage; at capacity it replaces the seed with the lowest recorded
+  coverage improvement;
+* mutation mode: running a mutated seed updates that seed's recorded
+  coverage improvement.
+
+The FIFO policy is kept as the baseline for the Fig. 9 experiment.
+"""
+
+import itertools
+
+_seed_ids = itertools.count()
+
+
+class Seed:
+    """One corpus entry: instruction blocks + scheduling metadata."""
+
+    __slots__ = ("seed_id", "blocks", "coverage_increment", "born_iteration",
+                 "origin", "uses")
+
+    def __init__(self, blocks, coverage_increment=0, born_iteration=0,
+                 origin="direct"):
+        self.seed_id = next(_seed_ids)
+        self.blocks = list(blocks)
+        self.coverage_increment = coverage_increment
+        self.born_iteration = born_iteration
+        self.origin = origin  # "direct" | "mutation" | "interval"
+        self.uses = 0
+
+    @property
+    def size(self):
+        return sum(block.size for block in self.blocks)
+
+    def __repr__(self):
+        return (
+            f"Seed(id={self.seed_id}, blocks={len(self.blocks)}, "
+            f"inc={self.coverage_increment}, origin={self.origin})"
+        )
+
+
+class Corpus:
+    """Bounded seed store with pluggable scheduling policy."""
+
+    def __init__(self, capacity=64, policy="coverage",
+                 priority_prob=(3, 4)):
+        if policy not in ("coverage", "fifo"):
+            raise ValueError(f"unknown corpus policy {policy!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self.priority_prob = priority_prob
+        self.seeds = []
+        self.evictions = 0
+        self.rejected = 0
+
+    def __len__(self):
+        return len(self.seeds)
+
+    @property
+    def full(self):
+        return len(self.seeds) >= self.capacity
+
+    # -- insertion ---------------------------------------------------------------
+    def add(self, seed):
+        """Insert a seed per the active policy; returns True if stored."""
+        if not self.full:
+            self.seeds.append(seed)
+            return True
+        if self.policy == "fifo":
+            # Replace the oldest seed unconditionally.
+            self.seeds.pop(0)
+            self.seeds.append(seed)
+            self.evictions += 1
+            return True
+        # Coverage policy: replace the lowest-increment seed, but only if
+        # the newcomer actually beats it.
+        victim_index = min(
+            range(len(self.seeds)),
+            key=lambda index: self.seeds[index].coverage_increment,
+        )
+        if self.seeds[victim_index].coverage_increment >= seed.coverage_increment:
+            self.rejected += 1
+            return False
+        self.seeds[victim_index] = seed
+        self.evictions += 1
+        return True
+
+    # -- feedback -----------------------------------------------------------------
+    def update_increment(self, seed, measured_increment):
+        """Mutation-mode feedback: refresh a seed's recorded improvement."""
+        seed.coverage_increment = measured_increment
+
+    # -- selection -----------------------------------------------------------------
+    def select(self, lfsr):
+        """Dual-strategy probabilistic selection (paper IV-B.3).
+
+        With probability ``priority_prob`` pick the seed with the highest
+        coverage increment; otherwise pick uniformly at random so archived
+        patterns are never starved.
+        """
+        if not self.seeds:
+            return None
+        if lfsr.chance(self.priority_prob):
+            best = max(self.seeds, key=lambda seed: seed.coverage_increment)
+            best.uses += 1
+            return best
+        seed = lfsr.choice(self.seeds)
+        seed.uses += 1
+        return seed
+
+    # -- introspection -----------------------------------------------------------------
+    def increments(self):
+        return [seed.coverage_increment for seed in self.seeds]
+
+    def best(self):
+        if not self.seeds:
+            return None
+        return max(self.seeds, key=lambda seed: seed.coverage_increment)

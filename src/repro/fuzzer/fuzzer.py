@@ -1,0 +1,168 @@
+"""The TurboFuzzer top level: iteration generation + coverage feedback.
+
+One :meth:`TurboFuzzer.generate_iteration` call produces a complete,
+assembled :class:`~repro.fuzzer.blocks.Iteration`; after the harness runs
+it on the DUT, :meth:`TurboFuzzer.feedback` folds the measured coverage
+increment back into the corpus (new seeds in generation mode, increment
+updates in mutation mode — paper Section IV-D).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.fuzzer.blocks import Iteration
+from repro.fuzzer.config import TurboFuzzConfig
+from repro.fuzzer.context import FuzzContext, MemoryLayout
+from repro.fuzzer.corpus import Corpus, Seed
+from repro.fuzzer.direct import DirectGenerator
+from repro.fuzzer.instrlib import InstructionLibrary
+from repro.fuzzer.lfsr import Lfsr
+from repro.fuzzer.mutation import MutationEngine
+
+
+@dataclass
+class FuzzerStats:
+    """Counters a campaign accumulates."""
+
+    iterations: int = 0
+    instructions_generated: int = 0
+    blocks_generated: int = 0
+    blocks_retained: int = 0
+    blocks_deleted: int = 0
+    seeds_added: int = 0
+    mode_counts: dict = field(
+        default_factory=lambda: {"direct": 0, "mutation": 0}
+    )
+
+
+class TurboFuzzer:
+    """The synthesizable fuzzer IP (behavioural model)."""
+
+    def __init__(self, config=None, layout=None):
+        self.config = config or TurboFuzzConfig()
+        self.layout = layout or MemoryLayout()
+        self.lfsr = Lfsr(self.config.seed)
+        self.context = FuzzContext(self.lfsr, self.config, self.layout)
+        self.library = InstructionLibrary(self.config.extensions)
+        self.direct = DirectGenerator(self.library, self.context)
+        self.mutation = MutationEngine(self.config, self.context, self.direct)
+        self.corpus = Corpus(
+            capacity=self.config.corpus_capacity,
+            policy=self.config.corpus_policy,
+            priority_prob=self.config.seed_priority_prob,
+        )
+        self.stats = FuzzerStats()
+        self._pending = None  # (iteration, parent_seed or None)
+        # Data patches applied to every future iteration's data segment
+        # (deepExplore plants interval init contexts here).
+        self.persistent_data_patches = []
+
+    # -- generation ------------------------------------------------------------------
+    def generate_iteration(self, instruction_budget=None):
+        """Produce the next assembled iteration.
+
+        A corpus seed is selected once per iteration; then, per block
+        position, the engine chooses direct generation (9/16) or a
+        mutation-mode operation on the next seed block (7/16).  With an
+        empty corpus the iteration is pure direct mode.
+        """
+        config = self.config
+        budget = instruction_budget or config.instructions_per_iteration
+        window = config.jump_window_blocks
+        parent = self.corpus.select(self.lfsr)
+        blocks = []
+        total = 0
+        new_index = 0
+        seed_cursor = 0
+        estimated = budget
+        seed_blocks = parent.blocks if parent is not None else ()
+        while total < budget:
+            use_mutation = (
+                seed_cursor < len(seed_blocks)
+                and self.lfsr.chance(config.mutation_mode_prob)
+            )
+            if use_mutation:
+                operation = self.mutation.roll_block_op()
+                if operation == "delete":
+                    seed_cursor += 1
+                    self.stats.blocks_deleted += 1
+                    continue
+                if operation == "retain":
+                    # Stream a contiguous run of seed blocks (burst read
+                    # from corpus storage) so the retained sequence keeps
+                    # its micro-architectural context.
+                    run_length = max(1, config.retain_run_blocks)
+                    appended = 0
+                    while (appended < run_length
+                           and seed_cursor < len(seed_blocks)
+                           and total < budget):
+                        block = self.mutation.retain_block(
+                            seed_blocks[seed_cursor], seed_cursor, new_index
+                        )
+                        seed_cursor += 1
+                        self.stats.blocks_retained += 1
+                        self.stats.mode_counts["mutation"] += 1
+                        blocks.append(block)
+                        total += block.size
+                        new_index += 1
+                        appended += 1
+                    continue
+                # generate: insert a fresh block at this point
+                block = self.direct.generate_block(
+                    new_index, estimated, window
+                )
+                self.stats.blocks_generated += 1
+                self.stats.mode_counts["mutation"] += 1
+            else:
+                block = self.direct.generate_block(new_index, estimated, window)
+                self.stats.blocks_generated += 1
+                self.stats.mode_counts["direct"] += 1
+            blocks.append(block)
+            total += block.size
+            new_index += 1
+        iteration = Iteration(
+            blocks=blocks,
+            layout=self.layout,
+            data_seed=self.lfsr.next(),
+            data_patches=list(self.persistent_data_patches),
+        )
+        iteration.assemble()
+        self.stats.iterations += 1
+        self.stats.instructions_generated += iteration.total_instructions
+        self._pending = (iteration, parent)
+        return iteration
+
+    # -- feedback ---------------------------------------------------------------------
+    def feedback(self, iteration, coverage_increment):
+        """Fold a run's measured coverage increment into the corpus."""
+        parent = None
+        if self._pending is not None and self._pending[0] is iteration:
+            parent = self._pending[1]
+            self._pending = None
+        if parent is not None:
+            # Mutation mode: refresh the parent seed's recorded increment.
+            self.corpus.update_increment(parent, coverage_increment)
+        if coverage_increment > 0:
+            stored = self.corpus.add(
+                Seed(
+                    [block.clone() for block in iteration.blocks],
+                    coverage_increment=coverage_increment,
+                    born_iteration=self.stats.iterations,
+                    origin="mutation" if parent is not None else "direct",
+                )
+            )
+            if stored:
+                self.stats.seeds_added += 1
+
+    def add_interval_seed(self, blocks, coverage_increment, data_patch=None):
+        """deepExplore stage-1 entry point: archive a benchmark interval.
+
+        ``data_patch`` is the interval's init-context blob; it is applied
+        to every subsequent iteration so retained interval blocks find
+        their context in place.
+        """
+        seed = Seed(list(blocks), coverage_increment=coverage_increment,
+                    origin="interval")
+        self.corpus.add(seed)
+        if data_patch is not None:
+            self.persistent_data_patches.append(data_patch)
+        return seed

@@ -1,0 +1,104 @@
+"""The dynamically configurable instruction library (paper Section IV-B.2).
+
+Individual ISA subsets (RISC-V I, M, F, A, Zicsr, ...) are organized into
+categories and can be activated or deactivated at runtime — the paper does
+this through VIO configuration interfaces; here it is a plain API that the
+:mod:`repro.fpga.vio` model drives.
+"""
+
+from repro.isa.instructions import (
+    Category,
+    Extension,
+    SPECS,
+)
+
+# Instructions the generator must not emit freely: they would tear down the
+# execution environment (ecall ends the iteration, mret corrupts the trap
+# flow, wfi stalls).  ebreak stays: the exception template skips over it and
+# it exercises the breakpoint path (and bug R1).
+_EXCLUDED_NAMES = frozenset({"ecall", "mret", "wfi"})
+
+
+class InstructionLibrary:
+    """Runtime-toggleable repository of generatable instruction specs."""
+
+    def __init__(self, extensions=None, exclude=()):
+        self._enabled = set(
+            extensions
+            if extensions is not None
+            else (Extension.I, Extension.M, Extension.A, Extension.F,
+                  Extension.D, Extension.ZICSR, Extension.SYSTEM)
+        )
+        self._excluded_names = _EXCLUDED_NAMES | frozenset(exclude)
+        self._rebuild()
+
+    def _rebuild(self):
+        self._active = [
+            spec
+            for spec in SPECS
+            if spec.extension in self._enabled
+            and spec.name not in self._excluded_names
+        ]
+        self._by_category = {}
+        for spec in self._active:
+            self._by_category.setdefault(spec.category, []).append(spec)
+
+    # -- VIO-style configuration -----------------------------------------------
+    def enable(self, extension):
+        """Activate an ISA subset."""
+        self._enabled.add(Extension(extension))
+        self._rebuild()
+
+    def disable(self, extension):
+        """Deactivate an ISA subset."""
+        self._enabled.discard(Extension(extension))
+        self._rebuild()
+
+    @property
+    def enabled_extensions(self):
+        return frozenset(self._enabled)
+
+    # -- sampling -----------------------------------------------------------------
+    @property
+    def active_specs(self):
+        """All currently generatable instruction specs."""
+        return list(self._active)
+
+    def categories(self):
+        return list(self._by_category)
+
+    def specs_in_category(self, category):
+        return list(self._by_category.get(category, ()))
+
+    def sample(self, lfsr):
+        """Uniformly sample a prime instruction spec."""
+        return lfsr.choice(self._active)
+
+    def sample_category(self, lfsr, category):
+        """Sample a prime instruction from one category."""
+        specs = self._by_category.get(category)
+        if not specs:
+            raise ValueError(f"no active instructions in category {category}")
+        return lfsr.choice(specs)
+
+    def sample_weighted(self, lfsr, weights):
+        """Sample with per-category integer weights (default weight 1).
+
+        ``weights`` maps :class:`Category` to a non-negative integer; this
+        is how the DifuzzRTL-style baseline biases toward control flow and
+        how TurboFuzz keeps the paper's roughly 1:5 control-flow ratio.
+        """
+        expanded = []
+        for category, specs in self._by_category.items():
+            weight = weights.get(category, 1)
+            if weight > 0:
+                expanded.extend(specs * weight)
+        if not expanded:
+            raise ValueError("no instructions active after weighting")
+        return lfsr.choice(expanded)
+
+    def __len__(self):
+        return len(self._active)
+
+    def __contains__(self, name):
+        return any(spec.name == name for spec in self._active)

@@ -1,0 +1,73 @@
+"""LFSR: the fuzzer's hardware-style pseudo-random source.
+
+A 64-bit xorshift register — three shift-XOR stages per step, exactly
+implementable in FFs and XOR gates.  A plain one-tap Galois LFSR is *not*
+usable here: consecutive states are bit-shifted copies of each other, so
+back-to-back field draws (mode choice, then block-operation roll) would be
+strongly correlated and some outcomes would become unreachable.  The
+xorshift configuration diffuses every state bit across the word each step,
+which is why real hardware fuzzers drive independent decision fields from
+separate tap networks.
+
+All stochastic choices in the fuzzer draw from this, so a TurboFuzzer run
+is a pure function of its seed.
+"""
+
+_MASK64 = (1 << 64) - 1
+
+
+class Lfsr:
+    """64-bit xorshift LFSR with convenience draws."""
+
+    def __init__(self, seed=1):
+        self.state = (seed & _MASK64) or 1  # all-zero state is absorbing
+
+    def next(self):
+        """Advance one step and return the new 64-bit state."""
+        state = self.state
+        state ^= (state << 13) & _MASK64
+        state ^= state >> 7
+        state ^= (state << 17) & _MASK64
+        self.state = state
+        return state
+
+    def bits(self, count):
+        """Draw ``count`` pseudo-random bits (as an unsigned int)."""
+        if count <= 64:
+            return self.next() & ((1 << count) - 1)
+        value = 0
+        remaining = count
+        while remaining > 0:
+            take = min(64, remaining)
+            value = (value << take) | (self.next() & ((1 << take) - 1))
+            remaining -= take
+        return value
+
+    def below(self, bound):
+        """Uniform-ish integer in ``[0, bound)`` (hardware-style modulo)."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next() % bound
+
+    def chance(self, probability):
+        """Bernoulli draw with ``probability = (numerator, denominator)``;
+        the denominator must be a power of two (hardware bit-slicing)."""
+        numerator, denominator = probability
+        if denominator & (denominator - 1):
+            raise ValueError("denominator must be a power of two")
+        return (self.next() & (denominator - 1)) < numerator
+
+    def choice(self, sequence):
+        """Pick one element of a non-empty sequence."""
+        return sequence[self.below(len(sequence))]
+
+    def fork(self):
+        """Derive an independent LFSR (e.g. per-iteration data seeds)."""
+        return Lfsr(self.next() ^ 0x9E3779B97F4A7C15)
+
+    def fill_bytes(self, count):
+        """Generate ``count`` pseudo-random bytes (data segment contents)."""
+        out = bytearray()
+        while len(out) < count:
+            out.extend(self.next().to_bytes(8, "little"))
+        return bytes(out[:count])

@@ -1,0 +1,114 @@
+"""Execution-guarantee templates (paper Section IV-C).
+
+The prologue sets up the execution environment (trap vector, FPU enable,
+base registers, initial FP values); the trap handler implements the paper's
+"templates with execution guarantee": exceptions re-enable the relevant
+FCSR/mstatus bit-fields and execution resumes at the next instruction, so
+one bad instruction never kills the iteration.  An ``ecall`` (the iteration
+terminator) is routed to the done loop.
+
+Both templates are identical for DUT and REF, so they never contribute
+differential mismatches; they count as *non-fuzzing* instructions in the
+prevalence metric (Fig. 8).
+"""
+
+from repro.fuzzer.context import (
+    MemoryLayout,
+    REG_DATA_BASE,
+    REG_HANDLER_T0,
+    REG_HANDLER_T1,
+    REG_INSTR_BASE,
+)
+from repro.isa import csr as CSR
+from repro.isa.encoder import encode
+
+
+def _load_address(rd, address):
+    """lui+addi pair materializing a 31-bit address."""
+    upper = (address + 0x800) & 0xFFFFF000  # round so addi's sext works
+    lower = address - upper
+    return [
+        encode("lui", rd=rd, imm=upper),
+        encode("addi", rd=rd, rs1=rd, imm=lower),
+    ]
+
+
+def build_prologue(layout=None, fp_init_count=8):
+    """The iteration prologue placed at the reset vector.
+
+    Sets mtvec to the trap handler, enables the FPU, points the data /
+    instruction base registers 2 KiB into their segments, preloads the
+    first ``fp_init_count`` FP registers from the (LFSR-randomized) data
+    segment, and jumps to the first instruction block.
+    """
+    layout = layout or MemoryLayout()
+    words = []
+    # mtvec = handler
+    words += _load_address(REG_HANDLER_T1, layout.handler)
+    words.append(encode("csrrw", rd=0, csr=CSR.MTVEC, rs1=REG_HANDLER_T1))
+    # mstatus.FS = dirty (enable the FPU)
+    words.append(encode("lui", rd=REG_HANDLER_T1, imm=0x6000))
+    words.append(encode("csrrs", rd=0, csr=CSR.MSTATUS, rs1=REG_HANDLER_T1))
+    # base registers
+    words += _load_address(REG_DATA_BASE, layout.data_base_reg_value)
+    words += _load_address(REG_INSTR_BASE, layout.instr_base_reg_value)
+    # preload FP registers from the data segment
+    for index in range(fp_init_count):
+        words.append(
+            encode("fld", rd=index, rs1=REG_DATA_BASE, imm=index * 8)
+        )
+    # jump to the block area
+    prologue_end = layout.reset + 4 * (len(words) + 1)
+    offset = layout.blocks - (prologue_end - 4)
+    words.append(encode("jal", rd=0, imm=offset))
+    return words
+
+
+def build_trap_handler(layout=None):
+    """The trap handler placed at ``layout.handler``.
+
+    * ``ecall`` (the iteration terminator) branches to the done loop;
+    * every other cause re-enables mstatus.FS (the FCSR-template repair),
+      advances ``mepc`` past the faulting instruction, and returns.
+
+    Clobbers x30/x31 only (reserved by the register convention).
+    """
+    layout = layout or MemoryLayout()
+    words = []
+    # x31 = mcause ; x30 = ECALL_M
+    words.append(encode("csrrs", rd=REG_HANDLER_T1, csr=CSR.MCAUSE, rs1=0))
+    words.append(encode("addi", rd=REG_HANDLER_T0, rs1=0,
+                        imm=CSR.CAUSE_ECALL_M))
+    # beq x31, x30, -> done loop
+    branch_pc = layout.handler + 4 * len(words)
+    words.append(
+        encode("beq", rs1=REG_HANDLER_T1, rs2=REG_HANDLER_T0,
+               imm=layout.done - branch_pc)
+    )
+    # FCSR/mstatus template repair: re-enable FS and restore a valid
+    # rounding mode (a fuzzed fcsr write can leave frm invalid, which
+    # would otherwise turn every dynamic-rm FP op into a trap).
+    words.append(encode("lui", rd=REG_HANDLER_T0, imm=0x6000))
+    words.append(encode("csrrs", rd=0, csr=CSR.MSTATUS, rs1=REG_HANDLER_T0))
+    words.append(encode("csrrci", rd=0, csr=CSR.FRM, zimm=7))
+    # mepc += 4 ; mret
+    words.append(encode("csrrs", rd=REG_HANDLER_T1, csr=CSR.MEPC, rs1=0))
+    words.append(encode("addi", rd=REG_HANDLER_T1, rs1=REG_HANDLER_T1, imm=4))
+    words.append(encode("csrrw", rd=0, csr=CSR.MEPC, rs1=REG_HANDLER_T1))
+    words.append(encode("mret"))
+    return words
+
+
+def build_done_loop():
+    """The done loop: a self-jump the harness recognizes as completion."""
+    return [encode("jal", rd=0, imm=0)]
+
+
+def template_instruction_count(layout=None, fp_init_count=8):
+    """Total non-fuzzing template instructions (prevalence accounting)."""
+    layout = layout or MemoryLayout()
+    return (
+        len(build_prologue(layout, fp_init_count))
+        + len(build_trap_handler(layout))
+        + len(build_done_loop())
+    )

@@ -1,0 +1,43 @@
+"""Virtual time: the experiment time axis.
+
+All paper results are time-to-coverage or time-to-bug at a 100 MHz DUT
+clock.  The virtual clock accumulates DUT cycles plus modelled host-side
+overheads (generation, DMA transfer, checking), so campaigns replay the
+paper's hour-scale time axis deterministically in seconds of host time.
+"""
+
+
+class VirtualClock:
+    """Accumulates virtual seconds from cycles and host-side costs."""
+
+    def __init__(self, frequency_hz=100e6):
+        self.frequency_hz = frequency_hz
+        self._seconds = 0.0
+
+    def advance_cycles(self, cycles):
+        """Account DUT execution time."""
+        self._seconds += cycles / self.frequency_hz
+
+    def advance_seconds(self, seconds):
+        """Account host-side or fixed-latency time."""
+        if seconds < 0:
+            raise ValueError("time cannot flow backwards")
+        self._seconds += seconds
+
+    @property
+    def seconds(self):
+        return self._seconds
+
+    @property
+    def minutes(self):
+        return self._seconds / 60.0
+
+    @property
+    def hours(self):
+        return self._seconds / 3600.0
+
+    def reset(self):
+        self._seconds = 0.0
+
+    def __repr__(self):
+        return f"VirtualClock({self._seconds:.6f}s @ {self.frequency_hz/1e6:.0f}MHz)"

@@ -1,0 +1,114 @@
+"""Iteration execution: DUT alone or DUT/REF lockstep with checking."""
+
+from dataclasses import dataclass, field
+
+from repro.harness.checker import DifferentialChecker
+from repro.harness.image import build_image
+from repro.harness.snapshot import HardwareSnapshot
+from repro.ref.executor import ExecConfig, Executor
+from repro.ref.memory import SparseMemory
+from repro.ref.state import ArchState
+from repro.dut.bugs import CorrectHooks
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing one iteration."""
+
+    executed_instructions: int = 0
+    executed_fuzzing: int = 0
+    executed_template: int = 0
+    cycles: float = 0.0
+    new_coverage: int = 0
+    completed: bool = False
+    mismatch: object = None  # harness.checker.Mismatch
+    snapshot: object = None  # HardwareSnapshot on mismatch
+    traps: int = 0
+
+    @property
+    def prevalence(self):
+        """Fuzzing instructions / executed instructions (Fig. 8 metric)."""
+        if not self.executed_instructions:
+            return 0.0
+        return self.executed_fuzzing / self.executed_instructions
+
+
+class IterationRunner:
+    """Runs assembled iterations on a DUT core (optionally vs a REF)."""
+
+    def __init__(self, core, with_ref=False, capture_snapshots=False,
+                 max_instruction_factor=4, stop_on_trap=False):
+        self.core = core
+        self.with_ref = with_ref
+        self.capture_snapshots = capture_snapshots
+        self.max_instruction_factor = max_instruction_factor
+        # DifuzzRTL-style harnesses abort the iteration at the first trap
+        # instead of repairing and resuming (no execution-guarantee
+        # templates); TurboFuzz keeps this False.
+        self.stop_on_trap = stop_on_trap
+
+    def _make_ref(self, image):
+        """Fresh REF: same ISA semantics, correct hooks, own memory."""
+        memory = SparseMemory()
+        image.install(memory)
+        state = ArchState(pc=image.layout.reset)
+        hooks = CorrectHooks(rv32a_only=self.core.rv32a_only)
+        return Executor(state, memory, config=ExecConfig(), hooks=hooks)
+
+    def run(self, iteration, instruction_cap=None):
+        """Execute one iteration to the done loop (or caps/mismatch)."""
+        core = self.core
+        image = build_image(iteration)
+        core.reset_pc = image.layout.reset
+        core.reset()
+        image.install(core.memory)
+        ref = self._make_ref(image) if self.with_ref else None
+        checker = DifferentialChecker() if self.with_ref else None
+
+        layout = iteration.layout
+        blocks_base = iteration.fuzz_base
+        cap = instruction_cap or (
+            self.max_instruction_factor * max(1, iteration.total_instructions)
+            + image.total_template_instructions * 8
+        )
+        result = RunResult()
+        start_points = core.coverage.total_points if core.coverage else 0
+        start_cycles = core.cycles
+        traps_since_fuzz = 0
+
+        for _ in range(cap):
+            record = core.step()
+            result.executed_instructions += 1
+            if record.pc >= blocks_base:
+                result.executed_fuzzing += 1
+                if record.trap is None:
+                    traps_since_fuzz = 0
+            else:
+                result.executed_template += 1
+            if record.trap is not None:
+                result.traps += 1
+                if self.stop_on_trap and record.pc >= blocks_base:
+                    break
+                # Iteration watchdog: a destroyed trap vector spins in
+                # fault loops; hardware moves to the next iteration.
+                traps_since_fuzz += 1
+                if traps_since_fuzz > 64:
+                    break
+            if ref is not None:
+                ref_record = ref.step()
+                mismatch = checker.check(record, ref_record)
+                if mismatch is not None:
+                    result.mismatch = mismatch
+                    if self.capture_snapshots:
+                        result.snapshot = HardwareSnapshot.capture(
+                            core, annotation=mismatch.describe()
+                        )
+                    break
+            if record.next_pc == layout.done:
+                result.completed = True
+                break
+
+        result.cycles = core.cycles - start_cycles
+        if core.coverage:
+            result.new_coverage = core.coverage.total_points - start_points
+        return result

@@ -1,0 +1,89 @@
+"""Per-iteration timing models (the Table I calibration).
+
+Each fuzzing system spends its iteration time differently:
+
+* **TurboFuzz** — generation, execution and coverage collection are all in
+  hardware; the dominant cost is instruction-level synchronization with the
+  REF model on the SoC's ARM cores (the fine-grained self-checking).
+* **DifuzzRTL (with FPGA)** — DUT execution is offloaded, but mutation +
+  input compilation run on the host and every iteration pays DMA transfer
+  and coverage-map readback over PCIe (the host-FPGA bottleneck).
+* **Cascade** — pure software: program generation dominates, plus RTL
+  simulation at tens of kHz.
+
+The defaults reproduce Table I's 75.12 / 4.13 / 12.80 Hz and the
+corresponding executed-instructions-per-second figures.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IterationTiming:
+    """Virtual-time cost model of one fuzzing iteration."""
+
+    name: str
+    fixed_s: float = 0.0              # per-iteration fixed overhead
+    host_generation_s: float = 0.0    # host-side generation / compilation
+    transfer_s: float = 0.0           # host<->FPGA DMA per iteration
+    coverage_scan_s: float = 0.0      # feedback readout
+    gen_per_instruction_s: float = 0.0  # hardware generation pipeline
+    per_instruction_s: float = 0.0    # execution/checking cost per executed
+    use_dut_cycles: bool = False      # count DUT cycles at the FPGA clock
+    detection_s: float = 0.0          # one-off latency to surface a finding
+    #   TurboFuzz: full-design snapshot capture + readback to the host
+    #   software fuzzers: trace dump + triage
+
+    def iteration_seconds(self, generated, executed, dut_cycles,
+                          frequency_hz=100e6):
+        """Total virtual seconds consumed by one iteration."""
+        seconds = (
+            self.fixed_s
+            + self.host_generation_s
+            + self.transfer_s
+            + self.coverage_scan_s
+            + self.gen_per_instruction_s * generated
+            + self.per_instruction_s * executed
+        )
+        if self.use_dut_cycles:
+            seconds += dut_cycles / frequency_hz
+        return seconds
+
+
+# TurboFuzz: all-hardware loop; REF sync on the ARM cores dominates.
+TURBOFUZZ_TIMING = IterationTiming(
+    name="turbofuzz",
+    fixed_s=100e-6,            # iteration setup / corpus bookkeeping
+    coverage_scan_s=400e-6,    # per-module N_cov readout
+    gen_per_instruction_s=10e-9,  # pipelined generation at ~1 instr/cycle
+    per_instruction_s=3.05e-6,  # ARM-side instruction-level checking
+    use_dut_cycles=True,
+    detection_s=1.0,            # snapshot capture + PCIe readback
+)
+
+# DifuzzRTL offloading the DUT to the FPGA: host generation + DMA dominate.
+DIFUZZRTL_FPGA_TIMING = IterationTiming(
+    name="difuzzrtl-fpga",
+    fixed_s=2e-3,
+    host_generation_s=120e-3,  # mutation + input compilation on the host
+    transfer_s=60e-3,          # stimulus down + trace up over PCIe
+    coverage_scan_s=60e-3,     # control-register coverage readback
+    per_instruction_s=0.0,
+    use_dut_cycles=True,
+    detection_s=0.5,           # trace dump + triage
+)
+
+# Cascade: software program generation + RTL simulation at tens of kHz.
+CASCADE_TIMING = IterationTiming(
+    name="cascade",
+    fixed_s=1e-3,
+    host_generation_s=73e-3,   # intricate program construction
+    per_instruction_s=20e-6,   # RTL simulation throughput (~50 kHz)
+    use_dut_cycles=False,
+    detection_s=0.5,           # waveform dump + triage
+)
+
+TIMING_PRESETS = {
+    timing.name: timing
+    for timing in (TURBOFUZZ_TIMING, DIFUZZRTL_FPGA_TIMING, CASCADE_TIMING)
+}

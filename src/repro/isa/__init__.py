@@ -1,0 +1,50 @@
+"""RISC-V ISA substrate: encodings, decoder, assembler, CSRs, registers.
+
+This package implements the RV64 IMAFD + Zicsr subset used by the paper's
+DUTs (Rocket, CVA6, BOOM).  It is the foundation for both the golden
+reference model (:mod:`repro.ref`) and the TurboFuzzer instruction library
+(:mod:`repro.fuzzer.instrlib`).
+"""
+
+from repro.isa.encoding import (
+    bits,
+    sext,
+    to_signed,
+    to_unsigned,
+    MASK32,
+    MASK64,
+)
+from repro.isa.instructions import (
+    InstrSpec,
+    SPECS,
+    SPECS_BY_NAME,
+    Extension,
+    Category,
+)
+from repro.isa.decoder import decode, DecodedInstr, IllegalInstruction
+from repro.isa.encoder import encode, assemble
+from repro.isa.disasm import disassemble
+from repro.isa import csr
+from repro.isa import registers
+
+__all__ = [
+    "bits",
+    "sext",
+    "to_signed",
+    "to_unsigned",
+    "MASK32",
+    "MASK64",
+    "InstrSpec",
+    "SPECS",
+    "SPECS_BY_NAME",
+    "Extension",
+    "Category",
+    "decode",
+    "DecodedInstr",
+    "IllegalInstruction",
+    "encode",
+    "assemble",
+    "disassemble",
+    "csr",
+    "registers",
+]

@@ -1,0 +1,139 @@
+"""Control and Status Register map and field layouts.
+
+Covers the machine-mode and FP CSRs the paper's experiments exercise:
+``fcsr``/``frm``/``fflags`` for the FPU bugs (C1-C6, C9, C10, B1, B2),
+``stval`` for C7, ``minstret`` for R1, plus the trap CSRs used by the
+exception templates of Section IV-C.
+"""
+
+# --- addresses ---------------------------------------------------------------
+FFLAGS = 0x001
+FRM = 0x002
+FCSR = 0x003
+
+SSTATUS = 0x100
+STVEC = 0x105
+SEPC = 0x141
+SCAUSE = 0x142
+STVAL = 0x143
+
+MSTATUS = 0x300
+MISA = 0x301
+MEDELEG = 0x302
+MIDELEG = 0x303
+MIE = 0x304
+MTVEC = 0x305
+MSCRATCH = 0x340
+MEPC = 0x341
+MCAUSE = 0x342
+MTVAL = 0x343
+MIP = 0x344
+
+MCYCLE = 0xB00
+MINSTRET = 0xB02
+CYCLE = 0xC00
+TIME = 0xC01
+INSTRET = 0xC02
+
+MVENDORID = 0xF11
+MARCHID = 0xF12
+MIMPID = 0xF13
+MHARTID = 0xF14
+
+KNOWN_CSRS = frozenset(
+    {
+        FFLAGS, FRM, FCSR,
+        SSTATUS, STVEC, SEPC, SCAUSE, STVAL,
+        MSTATUS, MISA, MEDELEG, MIDELEG, MIE, MTVEC,
+        MSCRATCH, MEPC, MCAUSE, MTVAL, MIP,
+        MCYCLE, MINSTRET, CYCLE, TIME, INSTRET,
+        MVENDORID, MARCHID, MIMPID, MHARTID,
+    }
+)
+
+CSR_NAMES = {
+    FFLAGS: "fflags", FRM: "frm", FCSR: "fcsr",
+    SSTATUS: "sstatus", STVEC: "stvec", SEPC: "sepc",
+    SCAUSE: "scause", STVAL: "stval",
+    MSTATUS: "mstatus", MISA: "misa", MEDELEG: "medeleg",
+    MIDELEG: "mideleg", MIE: "mie", MTVEC: "mtvec",
+    MSCRATCH: "mscratch", MEPC: "mepc", MCAUSE: "mcause",
+    MTVAL: "mtval", MIP: "mip",
+    MCYCLE: "mcycle", MINSTRET: "minstret",
+    CYCLE: "cycle", TIME: "time", INSTRET: "instret",
+    MVENDORID: "mvendorid", MARCHID: "marchid",
+    MIMPID: "mimpid", MHARTID: "mhartid",
+}
+
+READ_ONLY_CSRS = frozenset({CYCLE, TIME, INSTRET, MVENDORID, MARCHID, MIMPID, MHARTID})
+
+# --- fcsr fields -------------------------------------------------------------
+FFLAGS_NX = 1 << 0  # inexact
+FFLAGS_UF = 1 << 1  # underflow
+FFLAGS_OF = 1 << 2  # overflow
+FFLAGS_DZ = 1 << 3  # divide by zero
+FFLAGS_NV = 1 << 4  # invalid operation
+FFLAGS_MASK = 0x1F
+FRM_SHIFT = 5
+FRM_MASK = 0x7
+
+# rounding modes
+RM_RNE = 0b000  # round to nearest, ties to even
+RM_RTZ = 0b001  # round toward zero
+RM_RDN = 0b010  # round down
+RM_RUP = 0b011  # round up
+RM_RMM = 0b100  # round to nearest, ties to max magnitude
+RM_DYN = 0b111  # use frm
+VALID_RMS = frozenset({RM_RNE, RM_RTZ, RM_RDN, RM_RUP, RM_RMM})
+
+# --- mstatus fields ----------------------------------------------------------
+MSTATUS_MIE = 1 << 3
+MSTATUS_MPIE = 1 << 7
+MSTATUS_FS_SHIFT = 13
+MSTATUS_FS_MASK = 0b11 << MSTATUS_FS_SHIFT
+MSTATUS_FS_OFF = 0b00 << MSTATUS_FS_SHIFT
+MSTATUS_FS_INITIAL = 0b01 << MSTATUS_FS_SHIFT
+MSTATUS_FS_CLEAN = 0b10 << MSTATUS_FS_SHIFT
+MSTATUS_FS_DIRTY = 0b11 << MSTATUS_FS_SHIFT
+
+# --- mcause codes ------------------------------------------------------------
+CAUSE_MISALIGNED_FETCH = 0
+CAUSE_FETCH_ACCESS = 1
+CAUSE_ILLEGAL_INSTRUCTION = 2
+CAUSE_BREAKPOINT = 3
+CAUSE_MISALIGNED_LOAD = 4
+CAUSE_LOAD_ACCESS = 5
+CAUSE_MISALIGNED_STORE = 6
+CAUSE_STORE_ACCESS = 7
+CAUSE_ECALL_U = 8
+CAUSE_ECALL_S = 9
+CAUSE_ECALL_M = 11
+
+CAUSE_NAMES = {
+    CAUSE_MISALIGNED_FETCH: "misaligned fetch",
+    CAUSE_FETCH_ACCESS: "fetch access fault",
+    CAUSE_ILLEGAL_INSTRUCTION: "illegal instruction",
+    CAUSE_BREAKPOINT: "breakpoint",
+    CAUSE_MISALIGNED_LOAD: "misaligned load",
+    CAUSE_LOAD_ACCESS: "load access fault",
+    CAUSE_MISALIGNED_STORE: "misaligned store",
+    CAUSE_STORE_ACCESS: "store access fault",
+    CAUSE_ECALL_U: "ecall from U-mode",
+    CAUSE_ECALL_S: "ecall from S-mode",
+    CAUSE_ECALL_M: "ecall from M-mode",
+}
+
+
+def csr_name(address):
+    """Human-readable name for a CSR address."""
+    return CSR_NAMES.get(address, f"csr_{address:#x}")
+
+
+def pack_fcsr(fflags, frm):
+    """Combine fflags and frm into the fcsr value."""
+    return (fflags & FFLAGS_MASK) | ((frm & FRM_MASK) << FRM_SHIFT)
+
+
+def unpack_fcsr(value):
+    """Split an fcsr value into ``(fflags, frm)``."""
+    return value & FFLAGS_MASK, (value >> FRM_SHIFT) & FRM_MASK

@@ -1,0 +1,283 @@
+"""Instruction encoder and a small textual assembler.
+
+The encoder is the inverse of the decoder: given a mnemonic and operand
+fields it produces the 32-bit word.  The assembler accepts the conventional
+syntax (``addi x1, x2, -5``, ``lw a0, 8(sp)``, ``fmadd.d f1, f2, f3, f4``)
+and is used by tests, examples, and the synthetic workload generators.
+"""
+
+import re
+
+from repro.isa.encoding import fits_signed, fits_unsigned
+from repro.isa.instructions import SPECS_BY_NAME
+from repro.isa.csr import RM_DYN
+from repro.isa.registers import freg_index, xreg_index
+
+
+class EncodeError(ValueError):
+    """Raised for out-of-range operands or malformed assembly."""
+
+
+def _check_reg(value, what):
+    if not 0 <= value < 32:
+        raise EncodeError(f"{what} index {value} out of range")
+    return value
+
+
+def _imm_i_bits(imm):
+    if not fits_signed(imm, 12):
+        raise EncodeError(f"immediate {imm} does not fit in 12 bits")
+    return (imm & 0xFFF) << 20
+
+
+def _imm_s_bits(imm):
+    if not fits_signed(imm, 12):
+        raise EncodeError(f"immediate {imm} does not fit in 12 bits")
+    imm &= 0xFFF
+    return ((imm >> 5) << 25) | ((imm & 0x1F) << 7)
+
+
+def _imm_b_bits(imm):
+    if imm % 2:
+        raise EncodeError(f"branch offset {imm} must be even")
+    if not fits_signed(imm, 13):
+        raise EncodeError(f"branch offset {imm} does not fit in 13 bits")
+    imm &= 0x1FFF
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+    )
+
+
+def _imm_u_bits(imm):
+    # The immediate is the *architectural* value (already shifted left by
+    # 12); the assembler converts the textual 20-bit field before calling.
+    if imm & 0xFFF:
+        raise EncodeError(f"U-immediate {imm:#x} must be 4 KiB aligned")
+    field = imm >> 12
+    if not (fits_signed(field, 20) or fits_unsigned(field, 20)):
+        raise EncodeError(f"U-immediate {imm:#x} does not fit in 20 bits")
+    return (field & 0xFFFFF) << 12
+
+
+def _imm_j_bits(imm):
+    if imm % 2:
+        raise EncodeError(f"jump offset {imm} must be even")
+    if not fits_signed(imm, 21):
+        raise EncodeError(f"jump offset {imm} does not fit in 21 bits")
+    imm &= 0x1FFFFF
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+    )
+
+
+def encode(name, rd=0, rs1=0, rs2=0, rs3=0, imm=0, csr=0, shamt=0, rm=RM_DYN, zimm=0):
+    """Encode one instruction to its 32-bit word.
+
+    ``rm`` defaults to the dynamic rounding mode for FP formats that carry a
+    rounding-mode field; formats without one ignore it.
+    """
+    spec = SPECS_BY_NAME.get(name)
+    if spec is None:
+        raise EncodeError(f"unknown mnemonic {name!r}")
+    word = spec.match
+    fmt = spec.fmt
+    rd = _check_reg(rd, "rd")
+    rs1 = _check_reg(rs1, "rs1")
+    rs2 = _check_reg(rs2, "rs2")
+    rs3 = _check_reg(rs3, "rs3")
+
+    if fmt == "R":
+        word |= (rd << 7) | (rs1 << 15) | (rs2 << 20)
+    elif fmt in ("I", "L", "FL"):
+        word |= (rd << 7) | (rs1 << 15) | _imm_i_bits(imm)
+    elif fmt == "R_SH":
+        if not 0 <= shamt < 64:
+            raise EncodeError(f"shamt {shamt} out of range for RV64 shift")
+        word |= (rd << 7) | (rs1 << 15) | (shamt << 20)
+    elif fmt == "R_SHW":
+        if not 0 <= shamt < 32:
+            raise EncodeError(f"shamt {shamt} out of range for *W shift")
+        word |= (rd << 7) | (rs1 << 15) | (shamt << 20)
+    elif fmt in ("S", "FS"):
+        word |= (rs1 << 15) | (rs2 << 20) | _imm_s_bits(imm)
+    elif fmt == "B":
+        word |= (rs1 << 15) | (rs2 << 20) | _imm_b_bits(imm)
+    elif fmt == "U":
+        word |= (rd << 7) | _imm_u_bits(imm)
+    elif fmt == "J":
+        word |= (rd << 7) | _imm_j_bits(imm)
+    elif fmt == "CSR":
+        if not fits_unsigned(csr, 12):
+            raise EncodeError(f"csr address {csr:#x} out of range")
+        word |= (rd << 7) | (rs1 << 15) | (csr << 20)
+    elif fmt == "CSRI":
+        if not fits_unsigned(csr, 12):
+            raise EncodeError(f"csr address {csr:#x} out of range")
+        if not fits_unsigned(zimm, 5):
+            raise EncodeError(f"zimm {zimm} out of range")
+        word |= (rd << 7) | (zimm << 15) | (csr << 20)
+    elif fmt == "FR":
+        word |= (rd << 7) | (rs1 << 15) | (rs2 << 20) | ((rm & 7) << 12)
+    elif fmt == "R4":
+        word |= (rd << 7) | (rs1 << 15) | (rs2 << 20) | (rs3 << 27) | ((rm & 7) << 12)
+    elif fmt in ("FR1", "FCVT_IF", "FCVT_FI"):
+        word |= (rd << 7) | (rs1 << 15)
+        if spec.mask & 0x7000 == 0:  # rm field is variable for this encoding
+            word |= (rm & 7) << 12
+    elif fmt in ("FRN", "FCMP"):
+        word |= (rd << 7) | (rs1 << 15) | (rs2 << 20)
+    elif fmt == "AMO":
+        word |= (rd << 7) | (rs1 << 15) | (rs2 << 20)
+    elif fmt == "LR":
+        word |= (rd << 7) | (rs1 << 15)
+    elif fmt in ("NONE", "FENCE"):
+        if fmt == "FENCE":
+            word |= 0x0FF00000  # pred/succ = iorw,iorw
+    else:  # pragma: no cover
+        raise AssertionError(f"unhandled format {fmt!r}")
+    return word
+
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+_RM_NAMES = {"rne": 0, "rtz": 1, "rdn": 2, "rup": 3, "rmm": 4, "dyn": 7}
+
+
+def _parse_int(token):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise EncodeError(f"expected integer, got {token!r}") from None
+
+
+def _reg_or_freg(token, fp):
+    return freg_index(token) if fp else xreg_index(token)
+
+
+def assemble(text):
+    """Assemble one instruction from textual syntax to its 32-bit word.
+
+    Supports labels-free, single-instruction syntax; offsets are numeric.
+    """
+    text = text.strip()
+    if not text:
+        raise EncodeError("empty instruction")
+    parts = text.split(None, 1)
+    name = parts[0].lower()
+    spec = SPECS_BY_NAME.get(name)
+    if spec is None:
+        raise EncodeError(f"unknown mnemonic {name!r}")
+    operands = [tok.strip() for tok in parts[1].split(",")] if len(parts) > 1 else []
+    fmt = spec.fmt
+    fields = {}
+
+    def _mem(tok):
+        match = _MEM_OPERAND.match(tok)
+        if not match:
+            raise EncodeError(f"expected offset(reg), got {tok!r}")
+        return _parse_int(match.group(1)), xreg_index(match.group(2))
+
+    if fmt == "R":
+        fields["rd"], fields["rs1"], fields["rs2"] = (xreg_index(t) for t in operands)
+    elif fmt == "I":
+        fields["rd"] = xreg_index(operands[0])
+        fields["rs1"] = xreg_index(operands[1])
+        fields["imm"] = _parse_int(operands[2])
+    elif fmt in ("R_SH", "R_SHW"):
+        fields["rd"] = xreg_index(operands[0])
+        fields["rs1"] = xreg_index(operands[1])
+        fields["shamt"] = _parse_int(operands[2])
+    elif fmt in ("L", "FL"):
+        fields["rd"] = _reg_or_freg(operands[0], fmt == "FL")
+        fields["imm"], fields["rs1"] = _mem(operands[1])
+    elif fmt in ("S", "FS"):
+        fields["rs2"] = _reg_or_freg(operands[0], fmt == "FS")
+        fields["imm"], fields["rs1"] = _mem(operands[1])
+    elif fmt == "B":
+        fields["rs1"] = xreg_index(operands[0])
+        fields["rs2"] = xreg_index(operands[1])
+        fields["imm"] = _parse_int(operands[2])
+    elif fmt == "U":
+        fields["rd"] = xreg_index(operands[0])
+        # Textual syntax takes the 20-bit field (standard RISC-V asm).
+        fields["imm"] = _parse_int(operands[1]) << 12
+    elif fmt == "J":
+        fields["rd"] = xreg_index(operands[0])
+        fields["imm"] = _parse_int(operands[1])
+    elif fmt == "CSR":
+        fields["rd"] = xreg_index(operands[0])
+        fields["csr"] = _parse_int(operands[1])
+        fields["rs1"] = xreg_index(operands[2])
+    elif fmt == "CSRI":
+        fields["rd"] = xreg_index(operands[0])
+        fields["csr"] = _parse_int(operands[1])
+        fields["zimm"] = _parse_int(operands[2])
+    elif fmt == "FR":
+        fields["rd"] = freg_index(operands[0])
+        fields["rs1"] = freg_index(operands[1])
+        fields["rs2"] = freg_index(operands[2])
+        if len(operands) > 3:
+            fields["rm"] = _RM_NAMES[operands[3].lower()]
+    elif fmt == "R4":
+        fields["rd"] = freg_index(operands[0])
+        fields["rs1"] = freg_index(operands[1])
+        fields["rs2"] = freg_index(operands[2])
+        fields["rs3"] = freg_index(operands[3])
+        if len(operands) > 4:
+            fields["rm"] = _RM_NAMES[operands[4].lower()]
+    elif fmt == "FR1":
+        fields["rd"] = freg_index(operands[0])
+        fields["rs1"] = freg_index(operands[1])
+        if len(operands) > 2:
+            fields["rm"] = _RM_NAMES[operands[2].lower()]
+    elif fmt in ("FRN",):
+        fields["rd"] = freg_index(operands[0])
+        fields["rs1"] = freg_index(operands[1])
+        fields["rs2"] = freg_index(operands[2])
+    elif fmt == "FCMP":
+        fields["rd"] = xreg_index(operands[0])
+        fields["rs1"] = freg_index(operands[1])
+        fields["rs2"] = freg_index(operands[2])
+    elif fmt == "FCVT_IF":
+        fields["rd"] = xreg_index(operands[0])
+        fields["rs1"] = freg_index(operands[1])
+        if len(operands) > 2:
+            fields["rm"] = _RM_NAMES[operands[2].lower()]
+    elif fmt == "FCVT_FI":
+        fields["rd"] = freg_index(operands[0])
+        fields["rs1"] = xreg_index(operands[1])
+        if len(operands) > 2:
+            fields["rm"] = _RM_NAMES[operands[2].lower()]
+    elif fmt == "AMO":
+        fields["rd"] = xreg_index(operands[0])
+        fields["rs2"] = xreg_index(operands[1])
+        tok = operands[2]
+        if tok.startswith("(") and tok.endswith(")"):
+            tok = tok[1:-1]
+        fields["rs1"] = xreg_index(tok)
+    elif fmt == "LR":
+        fields["rd"] = xreg_index(operands[0])
+        tok = operands[1]
+        if tok.startswith("(") and tok.endswith(")"):
+            tok = tok[1:-1]
+        fields["rs1"] = xreg_index(tok)
+    elif fmt in ("NONE", "FENCE"):
+        pass
+    else:  # pragma: no cover
+        raise AssertionError(f"unhandled format {fmt!r}")
+    return encode(name, **fields)
+
+
+def assemble_all(lines):
+    """Assemble an iterable of instruction strings to a list of words."""
+    words = []
+    for line in lines:
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            words.append(assemble(stripped))
+    return words

@@ -1,0 +1,57 @@
+"""Bit-level helpers shared by the encoder, decoder and reference model.
+
+All register values are carried as unsigned Python integers in
+``[0, 2**64)``.  Signed interpretation happens explicitly via
+:func:`to_signed` / :func:`to_unsigned`.
+"""
+
+MASK5 = (1 << 5) - 1
+MASK12 = (1 << 12) - 1
+MASK32 = (1 << 32) - 1
+MASK64 = (1 << 64) - 1
+
+
+def bits(value, hi, lo):
+    """Extract the inclusive bit slice ``value[hi:lo]`` as an unsigned int."""
+    if hi < lo:
+        raise ValueError(f"invalid bit slice [{hi}:{lo}]")
+    return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def sext(value, width):
+    """Sign-extend an unsigned ``width``-bit value to a Python int."""
+    sign_bit = 1 << (width - 1)
+    value &= (1 << width) - 1
+    return value - (1 << width) if value & sign_bit else value
+
+
+def to_signed(value, width=64):
+    """Interpret an unsigned value as a two's-complement signed integer."""
+    return sext(value, width)
+
+
+def to_unsigned(value, width=64):
+    """Wrap a (possibly negative) integer into unsigned ``width``-bit space."""
+    return value & ((1 << width) - 1)
+
+
+def fits_signed(value, width):
+    """True when ``value`` is representable as a signed ``width``-bit int."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value, width):
+    """True when ``value`` is representable as an unsigned ``width``-bit int."""
+    return 0 <= value < (1 << width)
+
+
+def align_down(value, alignment):
+    """Round ``value`` down to a multiple of ``alignment``."""
+    return value - (value % alignment)
+
+
+def popcount(value):
+    """Number of set bits in ``value``."""
+    return bin(value & MASK64).count("1")

@@ -1,0 +1,378 @@
+"""RISC-V instruction specification table (RV64 IMAFD + Zicsr + machine ops).
+
+Each :class:`InstrSpec` carries the fixed opcode bits (``match``/``mask``),
+the operand *format* (which drives both the encoder and the decoder), the ISA
+*extension* it belongs to (so the fuzzer's instruction library can toggle
+subsets, mirroring the paper's VIO-configurable library), and a coarse
+*category* used by the fuzzer's block builder and by the prevalence /
+instruction-mix experiments (Fig. 4, Fig. 8).
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Extension(str, Enum):
+    """ISA subsets that can be toggled in the instruction library."""
+
+    I = "I"  # noqa: E741 - canonical RISC-V extension letter
+    M = "M"
+    A = "A"
+    F = "F"
+    D = "D"
+    ZICSR = "Zicsr"
+    SYSTEM = "System"
+
+
+class Category(str, Enum):
+    """Coarse behavioural class, used for generation and analysis."""
+
+    ALU = "alu"
+    ALU_IMM = "alu_imm"
+    BRANCH = "branch"
+    JUMP = "jump"
+    LOAD = "load"
+    STORE = "store"
+    MUL = "mul"
+    DIV = "div"
+    AMO = "amo"
+    FP_ARITH = "fp_arith"
+    FP_DIV = "fp_div"
+    FP_FMA = "fp_fma"
+    FP_CMP = "fp_cmp"
+    FP_CVT = "fp_cvt"
+    FP_MOVE = "fp_move"
+    FP_LOAD = "fp_load"
+    FP_STORE = "fp_store"
+    CSR = "csr"
+    SYSTEM = "system"
+    FENCE = "fence"
+
+
+CONTROL_FLOW_CATEGORIES = frozenset({Category.BRANCH, Category.JUMP})
+MEMORY_CATEGORIES = frozenset(
+    {Category.LOAD, Category.STORE, Category.FP_LOAD, Category.FP_STORE, Category.AMO}
+)
+FP_CATEGORIES = frozenset(
+    {
+        Category.FP_ARITH,
+        Category.FP_DIV,
+        Category.FP_FMA,
+        Category.FP_CMP,
+        Category.FP_CVT,
+        Category.FP_MOVE,
+        Category.FP_LOAD,
+        Category.FP_STORE,
+    }
+)
+
+
+# Operand formats.  Each format names the variable fields of the word; the
+# encoder fills them and the decoder extracts them.
+#   R      rd, rs1, rs2
+#   R_SH   rd, rs1, shamt (6-bit, RV64 shifts)
+#   R_SHW  rd, rs1, shamt (5-bit, *W shifts)
+#   I      rd, rs1, imm (12-bit signed)
+#   L      rd, imm(rs1)             (loads; same bit layout as I)
+#   S      rs2, imm(rs1)
+#   B      rs1, rs2, imm (13-bit, bit 0 zero)
+#   U      rd, imm (20-bit, placed at [31:12])
+#   J      rd, imm (21-bit, bit 0 zero)
+#   CSR    rd, csr, rs1
+#   CSRI   rd, csr, zimm (5-bit unsigned)
+#   FR     frd, frs1, frs2, rm
+#   FR1    frd, frs1, rm           (fsqrt, most fcvt)
+#   FRN    frd, frs1, frs2         (no rm: fsgnj*, fmin/fmax)
+#   FCMP   rd(int), frs1, frs2
+#   FCVT_IF rd(int), frs1, rm      (fcvt.w.s etc. / fclass / fmv.x)
+#   FCVT_FI frd, rs1(int), rm      (fcvt.s.w etc. / fmv.w.x)
+#   R4     frd, frs1, frs2, frs3, rm
+#   FL     frd, imm(rs1)
+#   FS     frs2, imm(rs1)
+#   AMO    rd, rs2, (rs1)          (aq/rl bits held at zero)
+#   LR     rd, (rs1)
+#   NONE   no operands (ecall, ebreak, mret, wfi, fence.i)
+#   FENCE  pred/succ (held at defaults)
+FORMATS = (
+    "R", "R_SH", "R_SHW", "I", "L", "S", "B", "U", "J",
+    "CSR", "CSRI", "FR", "FR1", "FRN", "FCMP", "FCVT_IF", "FCVT_FI",
+    "R4", "FL", "FS", "AMO", "LR", "NONE", "FENCE",
+)
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one instruction."""
+
+    name: str
+    fmt: str
+    match: int
+    mask: int
+    extension: Extension
+    category: Category
+    xlen: int = 32  # 32 = available on RV32 and RV64; 64 = RV64-only
+    writes_fp: bool = False
+    reads_fp: tuple = ()
+
+    @property
+    def is_control_flow(self):
+        return self.category in CONTROL_FLOW_CATEGORIES
+
+    @property
+    def is_memory(self):
+        return self.category in MEMORY_CATEGORIES
+
+    @property
+    def is_fp(self):
+        return self.category in FP_CATEGORIES
+
+    def __repr__(self):
+        return f"InstrSpec({self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Opcode constants (major opcodes, [6:0]).
+# ---------------------------------------------------------------------------
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_IMM32 = 0b0011011
+OP = 0b0110011
+OP_32 = 0b0111011
+OP_FENCE = 0b0001111
+OP_SYSTEM = 0b1110011
+OP_AMO = 0b0101111
+OP_FP_LOAD = 0b0000111
+OP_FP_STORE = 0b0100111
+OP_FP = 0b1010011
+OP_FMADD = 0b1000011
+OP_FMSUB = 0b1000111
+OP_FNMSUB = 0b1001011
+OP_FNMADD = 0b1001111
+
+MASK_OPCODE = 0x7F
+MASK_OP_F3 = 0x707F
+MASK_OP_F3_F7 = 0xFE00707F
+MASK_FP_RS2 = 0xFFF0707F  # funct7 + rs2 + funct3 + opcode (fcvt with rm free would drop f3)
+MASK_FP_NORM = 0xFE00707F
+MASK_FP_RM = 0xFE00007F  # funct7 + opcode, rm free
+MASK_FP_RM_RS2 = 0xFFF0007F  # funct7 + rs2 + opcode, rm free
+MASK_R4 = 0x600007F  # funct2 + opcode, rm free
+MASK_AMO = 0xF800707F  # funct5 + funct3 + opcode (aq/rl free)
+MASK_LR = 0xF9F0707F  # funct5 + rs2==0 + funct3 + opcode (aq/rl free)
+MASK_FULL = 0xFFFFFFFF
+
+
+def _r(f7, f3, op):
+    return (f7 << 25) | (f3 << 12) | op
+
+
+def _i(f3, op):
+    return (f3 << 12) | op
+
+
+_TABLE = []
+
+
+def _add(name, fmt, match, mask, ext, cat, xlen=32, writes_fp=False, reads_fp=()):
+    _TABLE.append(
+        InstrSpec(
+            name=name,
+            fmt=fmt,
+            match=match,
+            mask=mask,
+            extension=ext,
+            category=cat,
+            xlen=xlen,
+            writes_fp=writes_fp,
+            reads_fp=tuple(reads_fp),
+        )
+    )
+
+
+# --- RV32I / RV64I base ----------------------------------------------------
+_add("lui", "U", OP_LUI, MASK_OPCODE, Extension.I, Category.ALU_IMM)
+_add("auipc", "U", OP_AUIPC, MASK_OPCODE, Extension.I, Category.ALU_IMM)
+_add("jal", "J", OP_JAL, MASK_OPCODE, Extension.I, Category.JUMP)
+_add("jalr", "I", _i(0b000, OP_JALR), MASK_OP_F3, Extension.I, Category.JUMP)
+
+for _name, _f3 in (
+    ("beq", 0b000), ("bne", 0b001), ("blt", 0b100),
+    ("bge", 0b101), ("bltu", 0b110), ("bgeu", 0b111),
+):
+    _add(_name, "B", _i(_f3, OP_BRANCH), MASK_OP_F3, Extension.I, Category.BRANCH)
+
+for _name, _f3, _xlen in (
+    ("lb", 0b000, 32), ("lh", 0b001, 32), ("lw", 0b010, 32),
+    ("lbu", 0b100, 32), ("lhu", 0b101, 32), ("lwu", 0b110, 64),
+    ("ld", 0b011, 64),
+):
+    _add(_name, "L", _i(_f3, OP_LOAD), MASK_OP_F3, Extension.I, Category.LOAD, _xlen)
+
+for _name, _f3, _xlen in (
+    ("sb", 0b000, 32), ("sh", 0b001, 32), ("sw", 0b010, 32), ("sd", 0b011, 64),
+):
+    _add(_name, "S", _i(_f3, OP_STORE), MASK_OP_F3, Extension.I, Category.STORE, _xlen)
+
+for _name, _f3 in (
+    ("addi", 0b000), ("slti", 0b010), ("sltiu", 0b011),
+    ("xori", 0b100), ("ori", 0b110), ("andi", 0b111),
+):
+    _add(_name, "I", _i(_f3, OP_IMM), MASK_OP_F3, Extension.I, Category.ALU_IMM)
+
+# RV64 shifts use a 6-bit shamt; the top funct6 selects the operation.
+_add("slli", "R_SH", _i(0b001, OP_IMM), 0xFC00707F, Extension.I, Category.ALU_IMM)
+_add("srli", "R_SH", _i(0b101, OP_IMM), 0xFC00707F, Extension.I, Category.ALU_IMM)
+_add("srai", "R_SH", (0x10 << 26) | _i(0b101, OP_IMM), 0xFC00707F, Extension.I, Category.ALU_IMM)
+
+for _name, _f7, _f3 in (
+    ("add", 0, 0b000), ("sub", 0x20, 0b000), ("sll", 0, 0b001),
+    ("slt", 0, 0b010), ("sltu", 0, 0b011), ("xor", 0, 0b100),
+    ("srl", 0, 0b101), ("sra", 0x20, 0b101), ("or", 0, 0b110),
+    ("and", 0, 0b111),
+):
+    _add(_name, "R", _r(_f7, _f3, OP), MASK_OP_F3_F7, Extension.I, Category.ALU)
+
+_add("addiw", "I", _i(0b000, OP_IMM32), MASK_OP_F3, Extension.I, Category.ALU_IMM, 64)
+_add("slliw", "R_SHW", _i(0b001, OP_IMM32), MASK_OP_F3_F7, Extension.I, Category.ALU_IMM, 64)
+_add("srliw", "R_SHW", _i(0b101, OP_IMM32), MASK_OP_F3_F7, Extension.I, Category.ALU_IMM, 64)
+_add("sraiw", "R_SHW", _r(0x20, 0b101, OP_IMM32), MASK_OP_F3_F7, Extension.I, Category.ALU_IMM, 64)
+
+for _name, _f7, _f3 in (
+    ("addw", 0, 0b000), ("subw", 0x20, 0b000), ("sllw", 0, 0b001),
+    ("srlw", 0, 0b101), ("sraw", 0x20, 0b101),
+):
+    _add(_name, "R", _r(_f7, _f3, OP_32), MASK_OP_F3_F7, Extension.I, Category.ALU, 64)
+
+_add("fence", "FENCE", _i(0b000, OP_FENCE), MASK_OP_F3, Extension.I, Category.FENCE)
+_add("fence.i", "NONE", _i(0b001, OP_FENCE), MASK_FULL, Extension.I, Category.FENCE)
+_add("ecall", "NONE", OP_SYSTEM, MASK_FULL, Extension.SYSTEM, Category.SYSTEM)
+_add("ebreak", "NONE", (1 << 20) | OP_SYSTEM, MASK_FULL, Extension.SYSTEM, Category.SYSTEM)
+_add("mret", "NONE", (0b0011000_00010 << 20) | OP_SYSTEM, MASK_FULL, Extension.SYSTEM, Category.SYSTEM)
+_add("wfi", "NONE", (0b0001000_00101 << 20) | OP_SYSTEM, MASK_FULL, Extension.SYSTEM, Category.SYSTEM)
+
+# --- M ----------------------------------------------------------------------
+for _name, _f3, _cat in (
+    ("mul", 0b000, Category.MUL), ("mulh", 0b001, Category.MUL),
+    ("mulhsu", 0b010, Category.MUL), ("mulhu", 0b011, Category.MUL),
+    ("div", 0b100, Category.DIV), ("divu", 0b101, Category.DIV),
+    ("rem", 0b110, Category.DIV), ("remu", 0b111, Category.DIV),
+):
+    _add(_name, "R", _r(1, _f3, OP), MASK_OP_F3_F7, Extension.M, _cat)
+
+for _name, _f3, _cat in (
+    ("mulw", 0b000, Category.MUL), ("divw", 0b100, Category.DIV),
+    ("divuw", 0b101, Category.DIV), ("remw", 0b110, Category.DIV),
+    ("remuw", 0b111, Category.DIV),
+):
+    _add(_name, "R", _r(1, _f3, OP_32), MASK_OP_F3_F7, Extension.M, _cat, 64)
+
+# --- A ----------------------------------------------------------------------
+_AMO_FUNCT5 = (
+    ("amoswap", 0b00001), ("amoadd", 0b00000), ("amoxor", 0b00100),
+    ("amoand", 0b01100), ("amoor", 0b01000), ("amomin", 0b10000),
+    ("amomax", 0b10100), ("amominu", 0b11000), ("amomaxu", 0b11100),
+)
+for _suffix, _f3, _xlen in ((".w", 0b010, 32), (".d", 0b011, 64)):
+    _add("lr" + _suffix, "LR", (0b00010 << 27) | _i(_f3, OP_AMO), MASK_LR,
+         Extension.A, Category.AMO, _xlen)
+    _add("sc" + _suffix, "AMO", (0b00011 << 27) | _i(_f3, OP_AMO), MASK_AMO,
+         Extension.A, Category.AMO, _xlen)
+    for _base, _f5 in _AMO_FUNCT5:
+        _add(_base + _suffix, "AMO", (_f5 << 27) | _i(_f3, OP_AMO), MASK_AMO,
+             Extension.A, Category.AMO, _xlen)
+
+# --- F / D -------------------------------------------------------------------
+_add("flw", "FL", _i(0b010, OP_FP_LOAD), MASK_OP_F3, Extension.F,
+     Category.FP_LOAD, writes_fp=True)
+_add("fld", "FL", _i(0b011, OP_FP_LOAD), MASK_OP_F3, Extension.D,
+     Category.FP_LOAD, writes_fp=True)
+_add("fsw", "FS", _i(0b010, OP_FP_STORE), MASK_OP_F3, Extension.F,
+     Category.FP_STORE, reads_fp=("rs2",))
+_add("fsd", "FS", _i(0b011, OP_FP_STORE), MASK_OP_F3, Extension.D,
+     Category.FP_STORE, reads_fp=("rs2",))
+
+for _prec, _fmt2, _ext in (("s", 0b00, Extension.F), ("d", 0b01, Extension.D)):
+    _rf = ("rs1", "rs2")
+    for _name, _f5, _cat in (
+        ("fadd", 0b00000, Category.FP_ARITH), ("fsub", 0b00001, Category.FP_ARITH),
+        ("fmul", 0b00010, Category.FP_ARITH), ("fdiv", 0b00011, Category.FP_DIV),
+    ):
+        _add(f"{_name}.{_prec}", "FR", ((_f5 << 2 | _fmt2) << 25) | OP_FP,
+             MASK_FP_RM, _ext, _cat, writes_fp=True, reads_fp=_rf)
+    _add(f"fsqrt.{_prec}", "FR1", ((0b01011 << 2 | _fmt2) << 25) | OP_FP,
+         MASK_FP_RM_RS2, _ext, Category.FP_DIV, writes_fp=True, reads_fp=("rs1",))
+    for _name, _f3 in (("fsgnj", 0b000), ("fsgnjn", 0b001), ("fsgnjx", 0b010)):
+        _add(f"{_name}.{_prec}", "FRN",
+             ((0b00100 << 2 | _fmt2) << 25) | _i(_f3, OP_FP),
+             MASK_FP_NORM, _ext, Category.FP_MOVE, writes_fp=True, reads_fp=_rf)
+    for _name, _f3 in (("fmin", 0b000), ("fmax", 0b001)):
+        _add(f"{_name}.{_prec}", "FRN",
+             ((0b00101 << 2 | _fmt2) << 25) | _i(_f3, OP_FP),
+             MASK_FP_NORM, _ext, Category.FP_ARITH, writes_fp=True, reads_fp=_rf)
+    for _name, _f3 in (("feq", 0b010), ("flt", 0b001), ("fle", 0b000)):
+        _add(f"{_name}.{_prec}", "FCMP",
+             ((0b10100 << 2 | _fmt2) << 25) | _i(_f3, OP_FP),
+             MASK_FP_NORM, _ext, Category.FP_CMP, reads_fp=_rf)
+    _add(f"fclass.{_prec}", "FCVT_IF",
+         ((0b11100 << 2 | _fmt2) << 25) | _i(0b001, OP_FP),
+         MASK_FP_RS2, _ext, Category.FP_CMP, reads_fp=("rs1",))
+    # int <-> float conversions; rs2 field selects the integer width/sign.
+    for _iname, _rs2, _xlen in (
+        ("w", 0b00000, 32), ("wu", 0b00001, 32), ("l", 0b00010, 64), ("lu", 0b00011, 64),
+    ):
+        _add(f"fcvt.{_iname}.{_prec}", "FCVT_IF",
+             ((0b11000 << 2 | _fmt2) << 25) | (_rs2 << 20) | OP_FP,
+             MASK_FP_RM_RS2, _ext, Category.FP_CVT, _xlen, reads_fp=("rs1",))
+        _add(f"fcvt.{_prec}.{_iname}", "FCVT_FI",
+             ((0b11010 << 2 | _fmt2) << 25) | (_rs2 << 20) | OP_FP,
+             MASK_FP_RM_RS2, _ext, Category.FP_CVT, _xlen, writes_fp=True)
+    # fused multiply-add family
+    for _name, _op, _cat in (
+        ("fmadd", OP_FMADD, Category.FP_FMA), ("fmsub", OP_FMSUB, Category.FP_FMA),
+        ("fnmsub", OP_FNMSUB, Category.FP_FMA), ("fnmadd", OP_FNMADD, Category.FP_FMA),
+    ):
+        _add(f"{_name}.{_prec}", "R4", (_fmt2 << 25) | _op, MASK_R4, _ext, _cat,
+             writes_fp=True, reads_fp=("rs1", "rs2", "rs3"))
+
+# float <-> float conversions and raw moves
+_add("fcvt.s.d", "FR1", ((0b01000 << 2 | 0b00) << 25) | (0b00001 << 20) | OP_FP,
+     MASK_FP_RM_RS2, Extension.D, Category.FP_CVT, writes_fp=True, reads_fp=("rs1",))
+_add("fcvt.d.s", "FR1", ((0b01000 << 2 | 0b01) << 25) | OP_FP,
+     MASK_FP_RM_RS2, Extension.D, Category.FP_CVT, writes_fp=True, reads_fp=("rs1",))
+_add("fmv.x.w", "FCVT_IF", ((0b11100 << 2 | 0b00) << 25) | OP_FP,
+     MASK_FP_RS2, Extension.F, Category.FP_MOVE, reads_fp=("rs1",))
+_add("fmv.w.x", "FCVT_FI", ((0b11110 << 2 | 0b00) << 25) | OP_FP,
+     MASK_FP_RS2, Extension.F, Category.FP_MOVE, writes_fp=True)
+_add("fmv.x.d", "FCVT_IF", ((0b11100 << 2 | 0b01) << 25) | OP_FP,
+     MASK_FP_RS2, Extension.D, Category.FP_MOVE, 64, reads_fp=("rs1",))
+_add("fmv.d.x", "FCVT_FI", ((0b11110 << 2 | 0b01) << 25) | OP_FP,
+     MASK_FP_RS2, Extension.D, Category.FP_MOVE, 64, writes_fp=True)
+
+# --- Zicsr --------------------------------------------------------------------
+for _name, _f3 in (("csrrw", 0b001), ("csrrs", 0b010), ("csrrc", 0b011)):
+    _add(_name, "CSR", _i(_f3, OP_SYSTEM), MASK_OP_F3, Extension.ZICSR, Category.CSR)
+for _name, _f3 in (("csrrwi", 0b101), ("csrrsi", 0b110), ("csrrci", 0b111)):
+    _add(_name, "CSRI", _i(_f3, OP_SYSTEM), MASK_OP_F3, Extension.ZICSR, Category.CSR)
+
+
+SPECS = tuple(_TABLE)
+SPECS_BY_NAME = {spec.name: spec for spec in SPECS}
+
+if len(SPECS_BY_NAME) != len(SPECS):  # pragma: no cover - table sanity
+    raise AssertionError("duplicate instruction names in spec table")
+
+
+def specs_for_extensions(extensions, xlen=64):
+    """All specs belonging to the given set of enabled extensions."""
+    enabled = set(extensions)
+    return [
+        spec
+        for spec in SPECS
+        if spec.extension in enabled and (xlen == 64 or spec.xlen == 32)
+    ]

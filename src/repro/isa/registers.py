@@ -1,0 +1,51 @@
+"""Integer and floating-point register naming (ABI aliases included)."""
+
+XREG_COUNT = 32
+FREG_COUNT = 32
+
+XREG_ABI = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+FREG_ABI = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+_XREG_LOOKUP = {name: idx for idx, name in enumerate(XREG_ABI)}
+_XREG_LOOKUP.update({f"x{i}": i for i in range(XREG_COUNT)})
+_XREG_LOOKUP["fp"] = 8  # alternate name for s0
+
+_FREG_LOOKUP = {name: idx for idx, name in enumerate(FREG_ABI)}
+_FREG_LOOKUP.update({f"f{i}": i for i in range(FREG_COUNT)})
+
+
+def xreg_index(name):
+    """Resolve an integer register name (``x5``, ``t0``, ...) to its index."""
+    try:
+        return _XREG_LOOKUP[name]
+    except KeyError:
+        raise ValueError(f"unknown integer register {name!r}") from None
+
+
+def freg_index(name):
+    """Resolve an FP register name (``f5``, ``ft5``, ...) to its index."""
+    try:
+        return _FREG_LOOKUP[name]
+    except KeyError:
+        raise ValueError(f"unknown FP register {name!r}") from None
+
+
+def xreg_name(index):
+    """ABI name for integer register ``index``."""
+    return XREG_ABI[index]
+
+
+def freg_name(index):
+    """ABI name for FP register ``index``."""
+    return FREG_ABI[index]

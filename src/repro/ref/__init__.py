@@ -1,0 +1,28 @@
+"""Golden reference model (the paper's REF, run on the FPGA's ARM cores).
+
+An instruction-accurate RV64 IMAFD+Zicsr architectural simulator.  The DUT
+cores in :mod:`repro.dut` reuse the same executor with *bug hooks* installed,
+so a DUT/REF mismatch is always an injected (or real) semantic divergence,
+exactly like the paper's ENCORE-style differential checking.
+"""
+
+from repro.ref.memory import SparseMemory, MemoryAccessError
+from repro.ref.state import ArchState
+from repro.ref.executor import (
+    Executor,
+    ExecConfig,
+    ExecHooks,
+    CommitRecord,
+    Trap,
+)
+
+__all__ = [
+    "SparseMemory",
+    "MemoryAccessError",
+    "ArchState",
+    "Executor",
+    "ExecConfig",
+    "ExecHooks",
+    "CommitRecord",
+    "Trap",
+]

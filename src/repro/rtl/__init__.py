@@ -1,0 +1,32 @@
+"""A small structural RTL intermediate representation.
+
+The paper instruments coverage by walking the FIRRTL netlist of the DUT:
+find every multiplexer, trace each select backwards through combinational
+logic until registers are reached, and treat those registers as the module's
+*control registers*.  Our DUT cores declare an equivalent structural netlist
+(modules, registers, muxes, logic, memories) whose register *values* are
+updated behaviourally each cycle; the instrumentation pass
+(:mod:`repro.coverage`) then works exactly like the paper's.
+
+The IR also feeds the FPGA area estimator used for Table III.
+"""
+
+from repro.rtl.signals import Register, Mux, Logic, Port, Memory, Node
+from repro.rtl.module import Module
+from repro.rtl.netlist import control_registers, all_modules, find_module
+from repro.rtl.area import AreaEstimate, estimate_area
+
+__all__ = [
+    "Register",
+    "Mux",
+    "Logic",
+    "Port",
+    "Memory",
+    "Node",
+    "Module",
+    "control_registers",
+    "all_modules",
+    "find_module",
+    "AreaEstimate",
+    "estimate_area",
+]

@@ -1,0 +1,93 @@
+"""FPGA area estimation over the RTL-IR (LUTs, BRAMs, flip-flops).
+
+The estimator substitutes for Vivado synthesis reports in Table III.  It is
+calibrated so the *relative* sizes of the DUT, the Fuzzer IP, the checking
+logic and the ILA configurations track the paper; absolute LUT counts are a
+first-order heuristic (inputs/6 LUTs per output bit of logic, one FF per
+register bit, BRAM36 tiles for memories).
+"""
+
+from dataclasses import dataclass
+
+# One Xilinx BRAM36 tile stores 36 kilobits.
+BRAM36_BITS = 36 * 1024
+
+# XCZU19EG available resources (Zynq UltraScale+, Fidus Sidewinder).
+XCZU19EG_LUTS = 522_720
+XCZU19EG_BRAMS = 984
+XCZU19EG_REGS = 1_045_440
+
+
+@dataclass
+class AreaEstimate:
+    """Aggregate resource usage of a module tree."""
+
+    luts: int = 0
+    brams: int = 0
+    registers: int = 0
+
+    def __add__(self, other):
+        return AreaEstimate(
+            self.luts + other.luts,
+            self.brams + other.brams,
+            self.registers + other.registers,
+        )
+
+    def scaled(self, factor):
+        """Uniformly scale the estimate (used for calibration)."""
+        return AreaEstimate(
+            int(self.luts * factor),
+            int(self.brams * factor),
+            int(self.registers * factor),
+        )
+
+    def utilization(self, luts=XCZU19EG_LUTS, brams=XCZU19EG_BRAMS, regs=XCZU19EG_REGS):
+        """Fractional device utilization ``(lut, bram, reg)``."""
+        return (self.luts / luts, self.brams / brams, self.registers / regs)
+
+
+def _logic_luts(node):
+    if node.lut_cost is not None:
+        return node.lut_cost
+    fanin_bits = sum(source.width for source in node.sources) or 1
+    # One 6-input LUT covers ~6 input bits per output bit.
+    per_bit = max(1, (fanin_bits + 5) // 6)
+    return per_bit * node.width
+
+
+def _mux_luts(node):
+    ways = max(2, len(node.sources))
+    # A w-wide n-way mux needs roughly w * (n-1)/2 LUT6s.
+    return max(1, node.width * (ways - 1) // 2)
+
+
+def _memory_brams(node):
+    # Small memories map to distributed RAM (counted as LUTs elsewhere).
+    if node.bits <= 1024:
+        return 0
+    return max(1, -(-node.bits // BRAM36_BITS))
+
+
+def _memory_luts(node):
+    if node.bits <= 1024:
+        return max(1, node.bits // 32)
+    return node.width // 2  # addressing/output glue
+
+
+def estimate_area(module, recursive=True):
+    """Estimate area for a module (and, by default, its whole subtree)."""
+    modules = module.walk() if recursive else (module,)
+    total = AreaEstimate()
+    for current in modules:
+        for node in current.nodes:
+            if node.kind == "register":
+                total.registers += node.width
+                total.luts += max(1, node.width // 4)  # next-state glue
+            elif node.kind == "logic":
+                total.luts += _logic_luts(node)
+            elif node.kind == "mux":
+                total.luts += _mux_luts(node)
+            elif node.kind == "memory":
+                total.brams += _memory_brams(node)
+                total.luts += _memory_luts(node)
+    return total

@@ -1,0 +1,56 @@
+"""Netlist traversal: the paper's control-register extraction algorithm.
+
+Section VI: *"The coverage instrumentation algorithm first identifies all
+multiplexers within a design module.  For each multiplexer, it then
+recursively traces backward through connected registers until reaching the
+module boundary.  During this trace-back process, any registers encountered
+are designated as control registers for that multiplexer."*
+"""
+
+
+def control_registers(module, recursive=True):
+    """Extract the ordered set of control registers for ``module``.
+
+    For every mux in the module (and submodules when ``recursive``), trace
+    the select's fan-in through combinational nodes; registers terminate a
+    path and are collected, ports (module boundary) terminate without
+    collecting.  Result order is deterministic (by node uid) so the
+    instrumentation layout is reproducible.
+    """
+    collected = {}
+    for mux in module.muxes(recursive=recursive):
+        for register in trace_select(mux):
+            collected[register.uid] = register
+    return [collected[uid] for uid in sorted(collected)]
+
+
+def trace_select(mux):
+    """Backward-trace one mux select to its controlling registers."""
+    registers = []
+    seen = set()
+    stack = [mux.select] if mux.select is not None else []
+    while stack:
+        node = stack.pop()
+        if node is None or node.uid in seen:
+            continue
+        seen.add(node.uid)
+        if node.kind == "register":
+            registers.append(node)
+            continue  # do not trace through state elements
+        if node.kind == "port":
+            continue  # module boundary
+        stack.extend(node.sources)
+    return registers
+
+
+def all_modules(top):
+    """Flat list of every module in the hierarchy."""
+    return list(top.walk())
+
+
+def find_module(top, name):
+    """Find a module by leaf name anywhere in the hierarchy."""
+    for module in top.walk():
+        if module.name == name:
+            return module
+    raise KeyError(f"no module named {name!r} under {top.path}")

@@ -1,0 +1,67 @@
+"""Bit-exact IEEE-754 software floating point with RISC-V fflags.
+
+The DUT FPU bugs of Table II (wrong fflags, wrong rounding, NaN-boxing
+mishandling, sign errors) are all *architecturally visible* deviations from
+IEEE-754 semantics, so the reproduction needs a golden FP implementation that
+gets flags and rounding exactly right.  This package computes operations on
+exact rationals and rounds explicitly, which makes every rounding mode and
+every flag (NV/DZ/OF/UF/NX) bit-accurate.
+"""
+
+from repro.softfloat.formats import (
+    F32,
+    F64,
+    FloatFormat,
+    unpack,
+    pack,
+    is_nan,
+    is_snan,
+    is_inf,
+    is_zero,
+    is_subnormal,
+    canonical_nan,
+    nan_box,
+    nan_unbox,
+    is_nan_boxed,
+)
+from repro.softfloat.rounding import round_to_format
+from repro.softfloat.arith import fp_add, fp_sub, fp_mul, fp_div, fp_sqrt, fp_fma
+from repro.softfloat.compare import fp_min, fp_max, fp_eq, fp_lt, fp_le, fp_classify
+from repro.softfloat.convert import (
+    fp_to_int,
+    int_to_fp,
+    fp_to_fp,
+)
+
+__all__ = [
+    "F32",
+    "F64",
+    "FloatFormat",
+    "unpack",
+    "pack",
+    "is_nan",
+    "is_snan",
+    "is_inf",
+    "is_zero",
+    "is_subnormal",
+    "canonical_nan",
+    "nan_box",
+    "nan_unbox",
+    "is_nan_boxed",
+    "round_to_format",
+    "fp_add",
+    "fp_sub",
+    "fp_mul",
+    "fp_div",
+    "fp_sqrt",
+    "fp_fma",
+    "fp_min",
+    "fp_max",
+    "fp_eq",
+    "fp_lt",
+    "fp_le",
+    "fp_classify",
+    "fp_to_int",
+    "int_to_fp",
+    "fp_to_fp",
+]

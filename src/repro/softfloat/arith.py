@@ -1,0 +1,216 @@
+"""IEEE-754 arithmetic on bit patterns: add, sub, mul, div, sqrt, fma.
+
+All functions take and return raw bit patterns for the given
+:class:`~repro.softfloat.formats.FloatFormat`, together with an fflags
+bitmask.  NaN results are always the RISC-V canonical quiet NaN.
+"""
+
+from fractions import Fraction
+from math import isqrt
+
+from repro.isa.csr import FFLAGS_DZ, FFLAGS_NV, FFLAGS_NX, RM_RDN
+from repro.softfloat.formats import (
+    canonical_nan,
+    inf_bits_signed,
+    is_inf,
+    is_nan,
+    is_snan,
+    is_zero,
+    sign_of,
+    split,
+    unpack,
+    zero_bits,
+)
+from repro.softfloat.rounding import _floor_log2, round_to_format
+
+
+def _nan_result(fmt, invalid):
+    return canonical_nan(fmt), FFLAGS_NV if invalid else 0
+
+
+def _propagate_nan(operands, fmt):
+    """Handle NaN inputs: returns (result, flags) or None if no NaN."""
+    any_nan = False
+    any_snan = False
+    for bits_value in operands:
+        if is_nan(bits_value, fmt):
+            any_nan = True
+            if is_snan(bits_value, fmt):
+                any_snan = True
+    if any_nan:
+        return _nan_result(fmt, any_snan)
+    return None
+
+
+def _zero_sign_for_sum(sign_a, sign_b, rm):
+    """Sign of an exact-zero sum per IEEE: equal signs keep the sign,
+    otherwise the result is +0 except in round-down mode."""
+    if sign_a == sign_b:
+        return sign_a
+    return 1 if rm == RM_RDN else 0
+
+
+def fp_add(a, b, fmt, rm):
+    """a + b."""
+    nan = _propagate_nan((a, b), fmt)
+    if nan is not None:
+        return nan
+    sa, sb = sign_of(a, fmt), sign_of(b, fmt)
+    inf_a, inf_b = is_inf(a, fmt), is_inf(b, fmt)
+    if inf_a and inf_b:
+        if sa != sb:
+            return _nan_result(fmt, True)
+        return inf_bits_signed(sa, fmt), 0
+    if inf_a:
+        return inf_bits_signed(sa, fmt), 0
+    if inf_b:
+        return inf_bits_signed(sb, fmt), 0
+    if is_zero(a, fmt) and is_zero(b, fmt):
+        return zero_bits(_zero_sign_for_sum(sa, sb, rm), fmt), 0
+    exact = unpack(a, fmt) + unpack(b, fmt)
+    zero_sign = 1 if rm == RM_RDN else 0  # cancellation produces +0 (or -0 RDN)
+    return round_to_format(exact, fmt, rm, zero_sign=zero_sign)
+
+
+def fp_sub(a, b, fmt, rm):
+    """a - b, implemented as a + (-b) with the sign bit flipped first."""
+    if is_nan(b, fmt):
+        # Avoid flipping NaN signs (would lose sNaN detection on payload).
+        return fp_add(a, b, fmt, rm)
+    return fp_add(a, b ^ fmt.sign_bit, fmt, rm)
+
+
+def fp_mul(a, b, fmt, rm):
+    """a * b."""
+    nan = _propagate_nan((a, b), fmt)
+    if nan is not None:
+        return nan
+    sa, sb = sign_of(a, fmt), sign_of(b, fmt)
+    sign = sa ^ sb
+    inf_a, inf_b = is_inf(a, fmt), is_inf(b, fmt)
+    zero_a, zero_b = is_zero(a, fmt), is_zero(b, fmt)
+    if (inf_a and zero_b) or (inf_b and zero_a):
+        return _nan_result(fmt, True)
+    if inf_a or inf_b:
+        return inf_bits_signed(sign, fmt), 0
+    if zero_a or zero_b:
+        return zero_bits(sign, fmt), 0
+    exact = unpack(a, fmt) * unpack(b, fmt)
+    return round_to_format(exact, fmt, rm, zero_sign=sign)
+
+
+def fp_div(a, b, fmt, rm):
+    """a / b, raising DZ for finite/0 and NV for 0/0 and inf/inf."""
+    nan = _propagate_nan((a, b), fmt)
+    if nan is not None:
+        return nan
+    sa, sb = sign_of(a, fmt), sign_of(b, fmt)
+    sign = sa ^ sb
+    inf_a, inf_b = is_inf(a, fmt), is_inf(b, fmt)
+    zero_a, zero_b = is_zero(a, fmt), is_zero(b, fmt)
+    if inf_a and inf_b:
+        return _nan_result(fmt, True)
+    if zero_a and zero_b:
+        return _nan_result(fmt, True)
+    if inf_a:
+        return inf_bits_signed(sign, fmt), 0
+    if inf_b:
+        return zero_bits(sign, fmt), 0
+    if zero_b:
+        return inf_bits_signed(sign, fmt), FFLAGS_DZ
+    if zero_a:
+        return zero_bits(sign, fmt), 0
+    exact = unpack(a, fmt) / unpack(b, fmt)
+    return round_to_format(exact, fmt, rm, zero_sign=sign)
+
+
+def fp_sqrt(a, fmt, rm):
+    """sqrt(a), correctly rounded via integer square root with guard bits."""
+    nan = _propagate_nan((a,), fmt)
+    if nan is not None:
+        return nan
+    sign = sign_of(a, fmt)
+    if is_zero(a, fmt):
+        return a, 0  # sqrt(±0) = ±0
+    if sign:
+        return _nan_result(fmt, True)
+    if is_inf(a, fmt):
+        return a, 0
+    exact = unpack(a, fmt)
+    # Normalize to f * 4^q with f in [1, 4), then take the integer square
+    # root of f scaled by 2^(2*guard): the root carries guard bits of
+    # precision *relative to the result* regardless of the argument's
+    # magnitude.  sqrt of a non-square rational is irrational, so the
+    # guard bits decide rounding unambiguously; exact squares are detected
+    # and rounded exactly.
+    guard = fmt.man_bits + 8
+    exponent = _floor_log2(exact)
+    q = exponent >> 1  # arithmetic floor also for negatives
+    normalized = exact / (Fraction(2) ** (2 * q))
+    num = normalized.numerator << (2 * guard)
+    den = normalized.denominator
+    scaled = num // den
+    root = isqrt(scaled)
+    scale = Fraction(2) ** q
+    if root * root == scaled and scaled * den == num:
+        approx = Fraction(root, 1 << guard) * scale
+        return round_to_format(approx, fmt, rm, zero_sign=0)
+    # Irrational (or inexact at this precision): nudge the approximation
+    # off any representable boundary so rounding sees a strictly-inexact
+    # value.
+    approx = Fraction(2 * root + 1, 1 << (guard + 1)) * scale
+    bits_value, flags = round_to_format(approx, fmt, rm, zero_sign=0)
+    return bits_value, flags | FFLAGS_NX
+
+
+def fp_fma(a, b, c, fmt, rm, negate_product=False, negate_c=False):
+    """Fused multiply-add ``±(a*b) ± c`` with a single rounding.
+
+    ``negate_product``/``negate_c`` implement the fmsub/fnmsub/fnmadd
+    variants.  Invalid (inf*0) is detected even when ``c`` is a quiet NaN,
+    as IEEE-754 requires.
+    """
+    sa, sb = sign_of(a, fmt), sign_of(b, fmt)
+    product_invalid = (is_inf(a, fmt) and is_zero(b, fmt)) or (
+        is_inf(b, fmt) and is_zero(a, fmt)
+    )
+    nan = _propagate_nan((a, b, c), fmt)
+    if nan is not None:
+        result, flags = nan
+        if product_invalid:
+            flags |= FFLAGS_NV
+        return result, flags
+    if product_invalid:
+        return _nan_result(fmt, True)
+
+    product_sign = sa ^ sb
+    if negate_product:
+        product_sign ^= 1
+    sc = sign_of(c, fmt)
+    if negate_c:
+        sc ^= 1
+    product_inf = is_inf(a, fmt) or is_inf(b, fmt)
+    c_inf = is_inf(c, fmt)
+    if product_inf and c_inf:
+        if product_sign != sc:
+            return _nan_result(fmt, True)
+        return inf_bits_signed(product_sign, fmt), 0
+    if product_inf:
+        return inf_bits_signed(product_sign, fmt), 0
+    if c_inf:
+        return inf_bits_signed(sc, fmt), 0
+
+    product_zero = is_zero(a, fmt) or is_zero(b, fmt)
+    c_zero = is_zero(c, fmt)
+    if product_zero and c_zero:
+        return zero_bits(_zero_sign_for_sum(product_sign, sc, rm), fmt), 0
+
+    product = unpack(a, fmt) * unpack(b, fmt)
+    if negate_product:
+        product = -product
+    addend = unpack(c, fmt)
+    if negate_c:
+        addend = -addend
+    exact = product + addend
+    zero_sign = 1 if rm == RM_RDN else 0
+    return round_to_format(exact, fmt, rm, zero_sign=zero_sign)

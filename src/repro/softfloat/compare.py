@@ -1,0 +1,120 @@
+"""IEEE-754 comparisons, min/max and classification (RISC-V semantics)."""
+
+from repro.isa.csr import FFLAGS_NV
+from repro.softfloat.formats import (
+    canonical_nan,
+    is_inf,
+    is_nan,
+    is_snan,
+    is_subnormal,
+    is_zero,
+    sign_of,
+    split,
+    unpack,
+)
+
+
+def _ordered_lt(a, b, fmt):
+    """a < b for non-NaN operands, honouring -0 == +0."""
+    za, zb = is_zero(a, fmt), is_zero(b, fmt)
+    if za and zb:
+        return False
+    sa, sb = sign_of(a, fmt), sign_of(b, fmt)
+    ia, ib = is_inf(a, fmt), is_inf(b, fmt)
+    if ia or ib:
+        va = float("-inf") if (ia and sa) else float("inf") if ia else None
+        vb = float("-inf") if (ib and sb) else float("inf") if ib else None
+        if va is None:
+            return vb == float("inf")
+        if vb is None:
+            return va == float("-inf")
+        return va < vb
+    return unpack(a, fmt) < unpack(b, fmt)
+
+
+def fp_eq(a, b, fmt):
+    """feq: quiet comparison; NV only for signalling NaN operands."""
+    flags = 0
+    if is_snan(a, fmt) or is_snan(b, fmt):
+        flags |= FFLAGS_NV
+    if is_nan(a, fmt) or is_nan(b, fmt):
+        return 0, flags
+    if is_zero(a, fmt) and is_zero(b, fmt):
+        return 1, flags
+    equal = not _ordered_lt(a, b, fmt) and not _ordered_lt(b, a, fmt)
+    return (1 if equal else 0), flags
+
+
+def fp_lt(a, b, fmt):
+    """flt: signalling comparison; NV for any NaN operand."""
+    if is_nan(a, fmt) or is_nan(b, fmt):
+        return 0, FFLAGS_NV
+    return (1 if _ordered_lt(a, b, fmt) else 0), 0
+
+
+def fp_le(a, b, fmt):
+    """fle: signalling comparison; NV for any NaN operand."""
+    if is_nan(a, fmt) or is_nan(b, fmt):
+        return 0, FFLAGS_NV
+    return (1 if not _ordered_lt(b, a, fmt) else 0), 0
+
+
+def _minmax(a, b, fmt, want_max):
+    """Common min/max: NaN operands yield the other operand (or canonical
+    NaN if both); signalling NaNs raise NV; -0 orders below +0."""
+    flags = 0
+    if is_snan(a, fmt) or is_snan(b, fmt):
+        flags |= FFLAGS_NV
+    nan_a, nan_b = is_nan(a, fmt), is_nan(b, fmt)
+    if nan_a and nan_b:
+        return canonical_nan(fmt), flags
+    if nan_a:
+        return b, flags
+    if nan_b:
+        return a, flags
+    if is_zero(a, fmt) and is_zero(b, fmt):
+        sa, sb = sign_of(a, fmt), sign_of(b, fmt)
+        if want_max:
+            return (a if sa == 0 else b), flags
+        return (a if sa == 1 else b), flags
+    a_lt_b = _ordered_lt(a, b, fmt)
+    if want_max:
+        return (b if a_lt_b else a), flags
+    return (a if a_lt_b else b), flags
+
+
+def fp_min(a, b, fmt):
+    """fmin.s / fmin.d."""
+    return _minmax(a, b, fmt, want_max=False)
+
+
+def fp_max(a, b, fmt):
+    """fmax.s / fmax.d."""
+    return _minmax(a, b, fmt, want_max=True)
+
+
+# fclass result bits (RISC-V spec table)
+CLASS_NEG_INF = 1 << 0
+CLASS_NEG_NORMAL = 1 << 1
+CLASS_NEG_SUBNORMAL = 1 << 2
+CLASS_NEG_ZERO = 1 << 3
+CLASS_POS_ZERO = 1 << 4
+CLASS_POS_SUBNORMAL = 1 << 5
+CLASS_POS_NORMAL = 1 << 6
+CLASS_POS_INF = 1 << 7
+CLASS_SNAN = 1 << 8
+CLASS_QNAN = 1 << 9
+
+
+def fp_classify(a, fmt):
+    """fclass: one-hot classification mask."""
+    if is_nan(a, fmt):
+        return CLASS_SNAN if is_snan(a, fmt) else CLASS_QNAN
+    sign = sign_of(a, fmt)
+    if is_inf(a, fmt):
+        return CLASS_NEG_INF if sign else CLASS_POS_INF
+    if is_zero(a, fmt):
+        return CLASS_NEG_ZERO if sign else CLASS_POS_ZERO
+    if is_subnormal(a, fmt):
+        return CLASS_NEG_SUBNORMAL if sign else CLASS_POS_SUBNORMAL
+    return CLASS_NEG_NORMAL if sign else CLASS_POS_NORMAL

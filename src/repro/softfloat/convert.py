@@ -1,0 +1,67 @@
+"""Conversions: float <-> integer and float <-> float."""
+
+from fractions import Fraction
+
+from repro.isa.csr import FFLAGS_NV, FFLAGS_NX
+from repro.softfloat.formats import (
+    is_inf,
+    is_nan,
+    sign_of,
+    unpack,
+)
+from repro.softfloat.rounding import round_to_format, round_to_int
+
+
+def _int_bounds(width, signed):
+    if signed:
+        return -(1 << (width - 1)), (1 << (width - 1)) - 1
+    return 0, (1 << width) - 1
+
+
+def fp_to_int(a, fmt, rm, width, signed):
+    """fcvt.{w,wu,l,lu}.{s,d}: float to integer with NV/NX semantics.
+
+    Returns ``(value_unsigned, flags)`` where the value is the two's
+    complement bit pattern of the (possibly clamped) result in ``width``
+    bits.  NaN converts to the maximum integer with NV; out-of-range clamps
+    with NV; inexact in-range conversions raise NX.
+    """
+    lo, hi = _int_bounds(width, signed)
+    mask = (1 << width) - 1
+    if is_nan(a, fmt):
+        return hi & mask, FFLAGS_NV
+    if is_inf(a, fmt):
+        result = lo if sign_of(a, fmt) else hi
+        return result & mask, FFLAGS_NV
+    exact = unpack(a, fmt)
+    value, inexact = round_to_int(exact, rm)
+    if value < lo or value > hi:
+        clamped = lo if value < lo else hi
+        return clamped & mask, FFLAGS_NV
+    return value & mask, (FFLAGS_NX if inexact else 0)
+
+
+def int_to_fp(value, width, signed, fmt, rm):
+    """fcvt.{s,d}.{w,wu,l,lu}: integer (bit pattern) to float."""
+    mask = (1 << width) - 1
+    value &= mask
+    if signed and value >> (width - 1):
+        value -= 1 << width
+    sign = 1 if value < 0 else 0
+    return round_to_format(Fraction(value), fmt, rm, zero_sign=sign)
+
+
+def fp_to_fp(a, src_fmt, dst_fmt, rm):
+    """fcvt.s.d / fcvt.d.s: conversion between formats."""
+    if is_nan(a, src_fmt):
+        from repro.softfloat.formats import canonical_nan, is_snan
+
+        flags = FFLAGS_NV if is_snan(a, src_fmt) else 0
+        return canonical_nan(dst_fmt), flags
+    sign = sign_of(a, src_fmt)
+    if is_inf(a, src_fmt):
+        from repro.softfloat.formats import inf_bits_signed
+
+        return inf_bits_signed(sign, dst_fmt), 0
+    exact = unpack(a, src_fmt)
+    return round_to_format(exact, dst_fmt, rm, zero_sign=sign)

@@ -1,0 +1,132 @@
+"""Correct rounding of exact rational values into IEEE-754 formats.
+
+This module is the single place where inexact (NX), overflow (OF) and
+underflow (UF) flags are decided, so every arithmetic op shares identical
+rounding behaviour.  Tininess is detected *after* rounding, matching the
+RISC-V-recommended convention.
+"""
+
+from fractions import Fraction
+
+from repro.isa.csr import (
+    FFLAGS_NX,
+    FFLAGS_OF,
+    FFLAGS_UF,
+    RM_RDN,
+    RM_RMM,
+    RM_RNE,
+    RM_RTZ,
+    RM_RUP,
+)
+from repro.softfloat.formats import (
+    inf_bits_signed,
+    max_finite_signed,
+    pack,
+    zero_bits,
+)
+
+
+def _floor_log2(mag):
+    """Exact floor(log2(mag)) for a positive Fraction."""
+    num, den = mag.numerator, mag.denominator
+    estimate = num.bit_length() - den.bit_length()
+    if estimate >= 0:
+        if num >= den << estimate:
+            return estimate
+        return estimate - 1
+    if num << -estimate >= den:
+        return estimate
+    return estimate - 1
+
+
+def _round_increment(n, rem_num, rem_den, rm, sign):
+    """Decide whether to bump the truncated significand by one ulp."""
+    if rem_num == 0:
+        return False
+    if rm == RM_RNE:
+        twice = 2 * rem_num
+        return twice > rem_den or (twice == rem_den and n & 1)
+    if rm == RM_RTZ:
+        return False
+    if rm == RM_RDN:
+        return sign == 1
+    if rm == RM_RUP:
+        return sign == 0
+    if rm == RM_RMM:
+        return 2 * rem_num >= rem_den
+    raise ValueError(f"invalid rounding mode {rm}")
+
+
+def _overflow_result(sign, rm, fmt):
+    """Result bit pattern on overflow: infinity or max finite, per rm."""
+    if rm == RM_RTZ:
+        return max_finite_signed(sign, fmt)
+    if rm == RM_RDN and sign == 0:
+        return max_finite_signed(0, fmt)
+    if rm == RM_RUP and sign == 1:
+        return max_finite_signed(1, fmt)
+    return inf_bits_signed(sign, fmt)
+
+
+def round_to_format(value, fmt, rm, zero_sign=0):
+    """Round an exact :class:`Fraction` into ``fmt`` under rounding mode ``rm``.
+
+    Returns ``(bits, flags)``.  ``zero_sign`` supplies the sign used when the
+    exact value is zero (the sign of an exact-zero result is operation
+    dependent and decided by the caller).
+    """
+    flags = 0
+    if value == 0:
+        return zero_bits(zero_sign, fmt), flags
+
+    sign = 1 if value < 0 else 0
+    mag = -value if sign else value
+    exponent = _floor_log2(mag)
+
+    if exponent < fmt.emin:
+        scale = fmt.emin - fmt.man_bits  # subnormal quantum
+    else:
+        scale = exponent - fmt.man_bits
+
+    scaled = mag * (Fraction(2) ** -scale)
+    n, rem = divmod(scaled.numerator, scaled.denominator)
+    inexact = rem != 0
+    if _round_increment(n, rem, scaled.denominator, rm, sign):
+        n += 1
+
+    if inexact:
+        flags |= FFLAGS_NX
+
+    if exponent < fmt.emin:
+        # Subnormal scale: n is the raw subnormal mantissa (may round up to
+        # the smallest normal, 1 << man_bits).
+        if n >= (1 << fmt.man_bits):
+            bits_value = pack(sign, 1, 0, fmt)  # smallest normal
+            return bits_value, flags
+        if inexact:
+            flags |= FFLAGS_UF  # tiny after rounding and inexact
+        return pack(sign, 0, n, fmt), flags
+
+    # Normal scale: n in [2^man_bits, 2^(man_bits+1)] after rounding.
+    if n >= (1 << (fmt.man_bits + 1)):
+        n >>= 1
+        exponent += 1
+    if exponent > fmt.emax:
+        flags |= FFLAGS_OF | FFLAGS_NX
+        return _overflow_result(sign, rm, fmt), flags
+    biased = exponent + fmt.bias
+    return pack(sign, biased, n & fmt.man_mask, fmt), flags
+
+
+def round_to_int(value, rm):
+    """Round an exact :class:`Fraction` to an integer under ``rm``.
+
+    Returns ``(int_value, inexact)``.  Range checking is the caller's job.
+    """
+    sign = 1 if value < 0 else 0
+    mag = -value if sign else value
+    n, rem = divmod(mag.numerator, mag.denominator)
+    inexact = rem != 0
+    if _round_increment(n, rem, mag.denominator, rm, sign):
+        n += 1
+    return (-n if sign else n), inexact

@@ -1,0 +1,26 @@
+"""Synthetic CPU benchmarks (coremark / dhrystone / microbench stand-ins).
+
+The paper's deepExplore extracts representative intervals from standard
+benchmarks.  The real binaries are not available offline, so these
+generators emit RISC-V programs with the property SimPoint depends on:
+*recurring basic-block behaviour* — nested loops over distinct phase
+kernels with loop counts large enough that intervals repeat.
+"""
+
+from repro.workloads.programs import (
+    WorkloadProgram,
+    coremark_like,
+    dhrystone_like,
+    microbench_like,
+    all_workloads,
+    raw_iteration,
+)
+
+__all__ = [
+    "WorkloadProgram",
+    "coremark_like",
+    "dhrystone_like",
+    "microbench_like",
+    "all_workloads",
+    "raw_iteration",
+]

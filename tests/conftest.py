@@ -1,0 +1,10 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from tests.helpers import make_executor
+
+
+@pytest.fixture
+def executor_factory():
+    return make_executor

@@ -1,0 +1,50 @@
+"""Shared helpers for the test suite."""
+
+import struct
+
+from repro.ref import ArchState, Executor, SparseMemory
+
+
+def f64_bits(value):
+    """Host double -> raw 64-bit pattern."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_f64(bits):
+    """Raw 64-bit pattern -> host double."""
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def f32_bits(value):
+    """Host float -> raw 32-bit pattern."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_f32(bits):
+    """Raw 32-bit pattern -> host float."""
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def make_executor(program_words, base=0x8000_0000, xregs=None, fregs=None):
+    """A ready-to-step executor with a program installed."""
+    memory = SparseMemory()
+    memory.write_program(base, program_words)
+    state = ArchState(pc=base)
+    if xregs:
+        for index, value in xregs.items():
+            state.xregs[index] = value & ((1 << 64) - 1)
+    if fregs:
+        for index, value in fregs.items():
+            state.fregs[index] = value & ((1 << 64) - 1)
+    return Executor(state, memory)
+
+
+def run_program(executor, max_steps=1000, stop_on_trap=True):
+    """Step until ecall/trap or step limit; returns the records."""
+    records = []
+    for _ in range(max_steps):
+        record = executor.step()
+        records.append(record)
+        if stop_on_trap and record.trap is not None:
+            break
+    return records

@@ -1,0 +1,104 @@
+"""Experiment drivers: tiny-budget runs asserting the paper's *shapes* —
+who wins, by roughly what factor, and where the qualitative effects appear.
+Full-scale numbers live in the benchmark harness / EXPERIMENTS.md."""
+
+import pytest
+
+from repro.harness import experiments as ex
+
+
+class TestFig4:
+    def test_executable_proportion_shape(self):
+        result = ex.fig4_executable_proportion(iterations=6)
+        # Prior-work generation wastes most instructions (paper: 19.3%
+        # of generated instructions complete execution).
+        assert result["executed_fraction"] < 0.35
+        # Control flow exceeds 1/6 of generated instructions (paper Fig. 4).
+        assert result["control_flow_share_generated"] > 1 / 7
+        assert result["generated_total"] > 0
+
+
+class TestFig6:
+    def test_reachability_shape(self):
+        rows = ex.fig6_reachable_points(state_sizes=(13, 15))
+        for bits, row in rows.items():
+            # Optimized reaches everything; legacy leaves big holes.
+            assert row["optimized"]["fraction"] > 0.99
+            assert row["legacy"]["fraction"] < 0.8
+        # Larger instrumented spaces are less reachable (paper trend).
+        assert (rows[15]["legacy"]["fraction"]
+                <= rows[13]["legacy"]["fraction"] + 0.02)
+
+    def test_poorly_reachable_modules_called_out(self):
+        rows = ex.fig6_reachable_points(state_sizes=(15,))
+        modules = rows[15]["legacy"]["modules"]
+        # The paper singles out FPU / CSRFile / PTW as poorly reachable.
+        well_covered = modules["Execute"]["fraction"]
+        for name in ("FPU", "CSRFile", "PTW"):
+            assert modules[name]["fraction"] < well_covered
+
+
+class TestFig8:
+    def test_prevalence_ordering(self):
+        result = ex.fig8_prevalence(iterations=8)
+        assert result["difuzzrtl"]["mean"] < 0.2
+        assert result["cascade"]["mean"] > 0.85
+        assert result["turbofuzz_4000"]["mean"] > 0.93
+        # TurboFuzz edges out Cascade (paper: 0.97 vs 0.93).
+        assert (result["turbofuzz_4000"]["mean"]
+                > result["cascade"]["mean"] - 0.01)
+
+
+class TestTable1:
+    def test_fuzzing_speed_ordering(self):
+        rows = ex.table1_fuzzing_speed(iterations=6)
+        assert rows["difuzzrtl"]["fuzzing_speed_hz"] == pytest.approx(
+            4.13, rel=0.08)
+        assert rows["cascade"]["fuzzing_speed_hz"] == pytest.approx(
+            12.8, rel=0.10)
+        assert rows["turbofuzz"]["fuzzing_speed_hz"] == pytest.approx(
+            75.0, rel=0.15)
+        assert rows["turbofuzz"]["executed_per_second"] == pytest.approx(
+            309_676, rel=0.10)
+        assert rows["difuzzrtl"]["executed_per_second"] == pytest.approx(
+            728, rel=0.15)
+
+
+class TestTable2:
+    def test_easy_bugs_detected_with_acceleration(self):
+        result = ex.table2_bug_detection(
+            bug_ids=("C1", "R1"), hw_max_iterations=200,
+            sw_max_iterations=2500,
+        )
+        for bug_id in ("C1", "R1"):
+            row = result["bugs"][bug_id]
+            assert row["hw_seconds"] is not None, f"{bug_id} HW missed"
+            assert row["sw_seconds"] is not None, f"{bug_id} SW missed"
+            assert row["acceleration"] > 5, (
+                f"{bug_id} acceleration {row['acceleration']}"
+            )
+        assert result["geomean_acceleration"] > 5
+
+
+class TestTable3:
+    def test_area_report(self):
+        report = ex.table3_area()
+        assert report["fuzzer_ip"].brams == pytest.approx(176, abs=10)
+        assert report["turbofuzz"].brams == pytest.approx(227, abs=10)
+        assert report["ila1_bram_ratio"] == pytest.approx(2.05, abs=0.2)
+
+
+class TestFig7:
+    def test_optimized_instrumentation_increases_max_coverage(self):
+        result = ex.fig7_instrumentation_gain(
+            iterations=8, fuzzers=("turbofuzz",))
+        assert result["turbofuzz"]["gain"] > 1.1
+
+
+class TestFig11:
+    def test_convergence_ordering(self):
+        result = ex.fig11_convergence(
+            budget_seconds=1.2, checkpoints=(1.0,), max_iterations=120)
+        row = result["checkpoints"][1.0]
+        assert row["turbofuzz_4000"] > row["cascade"] > row["difuzzrtl"]
+        assert row["tf_vs_difuzzrtl"] > row["tf_vs_cascade"] > 1.0

@@ -1,0 +1,363 @@
+"""Fuzzer components: LFSR, instruction library, blocks, corpus, mutation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzzer import (
+    Corpus,
+    InstructionLibrary,
+    Lfsr,
+    Seed,
+    TurboFuzzConfig,
+    TurboFuzzer,
+)
+from repro.fuzzer.blocks import BlockBuilder, InstructionBlock, StimulusEntry
+from repro.fuzzer.context import FuzzContext, MemoryLayout, REG_DATA_BASE
+from repro.fuzzer.mutation import MutationEngine
+from repro.isa.decoder import decode, try_decode
+from repro.isa.instructions import Category, Extension, SPECS_BY_NAME
+
+
+class TestLfsr:
+    def test_deterministic(self):
+        assert [Lfsr(5).next() for _ in range(10)] == [
+            Lfsr(5).next() for _ in range(10)
+        ]
+
+    def test_zero_seed_not_absorbing(self):
+        lfsr = Lfsr(0)
+        assert lfsr.next() != 0
+
+    def test_bits_width(self):
+        lfsr = Lfsr(1)
+        for count in (1, 8, 32, 64, 96):
+            assert 0 <= lfsr.bits(count) < (1 << count)
+
+    def test_below_bound(self):
+        lfsr = Lfsr(3)
+        assert all(0 <= lfsr.below(7) < 7 for _ in range(200))
+
+    def test_chance_requires_pow2_denominator(self):
+        with pytest.raises(ValueError):
+            Lfsr(1).chance((1, 3))
+
+    def test_chance_rate(self):
+        lfsr = Lfsr(11)
+        hits = sum(lfsr.chance((7, 16)) for _ in range(4000))
+        assert 0.35 < hits / 4000 < 0.52
+
+    def test_consecutive_draws_are_independent(self):
+        """Regression: a plain Galois LFSR made some (chance, roll) pairs
+        unreachable — retain ops never fired."""
+        lfsr = Lfsr(0xC0FFEE)
+        seen_after_pass = set()
+        for _ in range(5000):
+            if lfsr.chance((7, 16)):
+                seen_after_pass.add(lfsr.next() & 15)
+        assert seen_after_pass == set(range(16))
+
+    def test_fill_bytes(self):
+        blob = Lfsr(9).fill_bytes(100)
+        assert len(blob) == 100 and len(set(blob)) > 10
+
+    def test_fork_diverges(self):
+        lfsr = Lfsr(9)
+        fork = lfsr.fork()
+        assert [lfsr.next() for _ in range(5)] != [fork.next() for _ in range(5)]
+
+
+class TestInstructionLibrary:
+    def test_excludes_environment_instructions(self):
+        library = InstructionLibrary()
+        names = {spec.name for spec in library.active_specs}
+        assert "ecall" not in names and "mret" not in names
+        assert "ebreak" in names
+
+    def test_disable_extension(self):
+        library = InstructionLibrary()
+        library.disable(Extension.F)
+        library.disable(Extension.D)
+        assert not any(spec.is_fp for spec in library.active_specs)
+        library.enable(Extension.F)
+        assert any(spec.name == "fadd.s" for spec in library.active_specs)
+
+    def test_sample_weighted_respects_zero(self):
+        library = InstructionLibrary()
+        lfsr = Lfsr(1)
+        weights = {category: 0 for category in Category}
+        weights[Category.ALU] = 1
+        for _ in range(50):
+            spec = library.sample_weighted(lfsr, weights)
+            assert spec.category is Category.ALU
+
+    def test_sample_category(self):
+        library = InstructionLibrary()
+        spec = library.sample_category(Lfsr(1), Category.BRANCH)
+        assert spec.category is Category.BRANCH
+
+    def test_contains(self):
+        library = InstructionLibrary()
+        assert "fdiv.d" in library
+
+
+@pytest.fixture
+def context():
+    return FuzzContext(Lfsr(7), TurboFuzzConfig(), MemoryLayout())
+
+
+class TestBlockBuilder:
+    def test_load_block_uses_base_registers(self, context):
+        builder = BlockBuilder(context)
+        block = builder.build(SPECS_BY_NAME["ld"], 0, 100, 4)
+        decoded = decode(block.entries[0].word)
+        assert decoded.rs1 in (5, 6)
+        assert decoded.imm % 8 == 0
+
+    def test_store_block_targets_data_segment(self, context):
+        builder = BlockBuilder(context)
+        for _ in range(20):
+            block = builder.build(SPECS_BY_NAME["sd"], 0, 100, 4)
+            assert decode(block.entries[0].word).rs1 == REG_DATA_BASE
+
+    def test_amo_block_has_affiliated_setup(self, context):
+        builder = BlockBuilder(context)
+        block = builder.build(SPECS_BY_NAME["amoadd.d"], 0, 100, 4)
+        assert block.size == 2
+        setup = decode(block.entries[0].word)
+        assert setup.name == "addi" and setup.imm % 8 == 0
+        assert not block.entries[0].is_prime
+
+    def test_jalr_block_structure(self, context):
+        builder = BlockBuilder(context)
+        block = builder.build(SPECS_BY_NAME["jalr"], 0, 100, 4)
+        assert block.cf_kind == "jalr" and block.size == 3
+        assert block.target_block is not None
+
+    def test_branch_block_records_target(self, context):
+        builder = BlockBuilder(context)
+        block = builder.build(SPECS_BY_NAME["beq"], 10, 100, 4)
+        assert block.cf_kind == "branch"
+        assert 11 <= block.target_block <= 14
+
+    def test_unbounded_window(self, context):
+        builder = BlockBuilder(context)
+        targets = set()
+        for _ in range(60):
+            block = builder.build(SPECS_BY_NAME["jal"], 0, 1000, None)
+            targets.add(block.target_block)
+        assert max(targets) > 100  # unbounded jumps roam far
+
+    @given(seed=st.integers(min_value=1, max_value=1 << 30))
+    @settings(max_examples=25, deadline=None)
+    def test_every_generated_word_decodes(self, seed):
+        context = FuzzContext(Lfsr(seed), TurboFuzzConfig(), MemoryLayout())
+        builder = BlockBuilder(context)
+        library = InstructionLibrary()
+        for _ in range(30):
+            spec = library.sample(context.lfsr)
+            block = builder.build(spec, 0, 100, 4)
+            for entry in block.entries:
+                if not entry.needs_target_patch:
+                    assert try_decode(entry.word) is not None
+
+
+class TestIterationAssembly:
+    def test_forward_only_control_flow(self):
+        """Property: every patched branch/jal displacement is positive."""
+        fuzzer = TurboFuzzer(TurboFuzzConfig(
+            instructions_per_iteration=500, seed=123))
+        iteration = fuzzer.generate_iteration()
+        fuzzer.feedback(iteration, 50)
+        for _ in range(3):
+            iteration = fuzzer.generate_iteration()
+            fuzzer.feedback(iteration, 10)
+            base = iteration.fuzz_base
+            for offset, word in enumerate(iteration.words):
+                decoded = try_decode(word)
+                if decoded is None:
+                    continue
+                if decoded.spec.category is Category.BRANCH:
+                    assert decoded.imm > 0
+                elif decoded.name == "jal":
+                    assert decoded.imm > 0
+
+    def test_iteration_meets_budget(self):
+        fuzzer = TurboFuzzer(TurboFuzzConfig(instructions_per_iteration=777))
+        iteration = fuzzer.generate_iteration()
+        assert iteration.total_instructions >= 777
+        assert len(iteration.words) == sum(
+            block.size for block in iteration.blocks) + 1  # + ecall
+
+    def test_iteration_ends_with_ecall(self):
+        fuzzer = TurboFuzzer(TurboFuzzConfig(instructions_per_iteration=50))
+        iteration = fuzzer.generate_iteration()
+        assert decode(iteration.words[-1]).name == "ecall"
+
+    def test_block_bases_are_monotonic(self):
+        fuzzer = TurboFuzzer(TurboFuzzConfig(instructions_per_iteration=200))
+        iteration = fuzzer.generate_iteration()
+        bases = iteration.block_bases
+        assert all(b2 > b1 for b1, b2 in zip(bases, bases[1:]))
+
+    def test_determinism(self):
+        a = TurboFuzzer(TurboFuzzConfig(seed=5,
+                                        instructions_per_iteration=100))
+        b = TurboFuzzer(TurboFuzzConfig(seed=5,
+                                        instructions_per_iteration=100))
+        assert a.generate_iteration().words == b.generate_iteration().words
+
+    def test_setup_words_shift_fuzz_base(self):
+        from repro.fuzzer.blocks import Iteration
+
+        block = InstructionBlock("addi", [StimulusEntry(0x13)])
+        iteration = Iteration(blocks=[block], layout=MemoryLayout(),
+                              setup_words=[0x13, 0x13])
+        iteration.assemble()
+        assert iteration.fuzz_base == iteration.layout.blocks + 8
+        assert iteration.total_instructions == 3
+
+
+class TestCorpus:
+    def _seed(self, increment):
+        return Seed([InstructionBlock("addi", [StimulusEntry(0x13)])],
+                    coverage_increment=increment)
+
+    def test_fifo_evicts_oldest(self):
+        corpus = Corpus(capacity=2, policy="fifo")
+        first, second, third = (self._seed(i) for i in (10, 20, 30))
+        corpus.add(first), corpus.add(second), corpus.add(third)
+        assert first not in corpus.seeds and third in corpus.seeds
+
+    def test_coverage_evicts_lowest_increment(self):
+        corpus = Corpus(capacity=2, policy="coverage")
+        low, high, mid = self._seed(1), self._seed(100), self._seed(50)
+        corpus.add(low), corpus.add(high)
+        assert corpus.add(mid) is True
+        assert low not in corpus.seeds
+        assert high in corpus.seeds and mid in corpus.seeds
+
+    def test_coverage_rejects_weaker_newcomer(self):
+        corpus = Corpus(capacity=2, policy="coverage")
+        corpus.add(self._seed(10)), corpus.add(self._seed(20))
+        assert corpus.add(self._seed(5)) is False
+        assert corpus.rejected == 1
+
+    def test_selection_prefers_best(self):
+        corpus = Corpus(capacity=8, policy="coverage", priority_prob=(4, 4))
+        best = self._seed(99)
+        corpus.add(self._seed(1)), corpus.add(best), corpus.add(self._seed(2))
+        lfsr = Lfsr(3)
+        assert all(corpus.select(lfsr) is best for _ in range(10))
+
+    def test_random_selection_reaches_all(self):
+        corpus = Corpus(capacity=8, policy="coverage", priority_prob=(0, 4))
+        seeds = [self._seed(i) for i in range(4)]
+        for seed in seeds:
+            corpus.add(seed)
+        lfsr = Lfsr(3)
+        selected = {corpus.select(lfsr).seed_id for _ in range(100)}
+        assert len(selected) == 4
+
+    def test_update_increment(self):
+        corpus = Corpus(capacity=2)
+        seed = self._seed(10)
+        corpus.add(seed)
+        corpus.update_increment(seed, 77)
+        assert seed.coverage_increment == 77
+
+    def test_empty_select_returns_none(self):
+        assert Corpus().select(Lfsr(1)) is None
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            Corpus(policy="lru")
+
+
+class TestMutationEngine:
+    def _engine(self, seed=3):
+        config = TurboFuzzConfig(seed=seed)
+        context = FuzzContext(Lfsr(seed), config, MemoryLayout())
+        from repro.fuzzer.direct import DirectGenerator
+
+        generator = DirectGenerator(InstructionLibrary(), context)
+        return MutationEngine(config, context, generator)
+
+    def test_block_op_distribution(self):
+        engine = self._engine()
+        from collections import Counter
+
+        counts = Counter(engine.roll_block_op() for _ in range(16000))
+        assert abs(counts["generate"] / 16000 - 3 / 16) < 0.03
+        assert abs(counts["delete"] / 16000 - 11 / 16) < 0.03
+        assert abs(counts["retain"] / 16000 - 2 / 16) < 0.03
+
+    def test_retain_preserves_relative_target(self):
+        engine = self._engine()
+        block = InstructionBlock("jal", [StimulusEntry(
+            0x6F, needs_target_patch=True, patch_kind="jal")],
+            cf_kind="jal", target_block=12)
+        retained = engine.retain_block(block, old_index=10, new_index=50)
+        assert retained.target_block == 52  # delta of 2 preserved
+        assert retained.generated is False
+
+    def test_mutated_words_still_decode(self):
+        engine = self._engine()
+        word = decode(0x00B50533).word  # add a0, a0, a1
+        for _ in range(50):
+            mutated = engine._mutate_word(word)
+            if mutated is not None:
+                assert try_decode(mutated) is not None
+
+    def test_csr_words_never_mutated(self):
+        engine = self._engine()
+        from repro.isa.encoder import encode
+
+        word = encode("csrrw", rd=1, csr=0x340, rs1=2)
+        assert engine._mutate_word(word) is None
+
+    def test_control_flow_blocks_not_rebound(self):
+        engine = self._engine()
+        block = InstructionBlock("jalr", [
+            StimulusEntry(0, is_prime=False, needs_target_patch=True,
+                          patch_kind="lui"),
+            StimulusEntry(0, is_prime=False, needs_target_patch=True,
+                          patch_kind="addi"),
+            StimulusEntry(0x000E80E7),  # jalr
+        ], cf_kind="jalr", target_block=5)
+        words_before = [entry.word for entry in block.entries]
+        engine._rebind_operands(block)
+        assert [entry.word for entry in block.entries] == words_before
+
+
+class TestTurboFuzzerTop:
+    def test_feedback_only_stores_improving(self):
+        fuzzer = TurboFuzzer(TurboFuzzConfig(instructions_per_iteration=50))
+        iteration = fuzzer.generate_iteration()
+        fuzzer.feedback(iteration, 0)
+        assert len(fuzzer.corpus) == 0
+        iteration = fuzzer.generate_iteration()
+        fuzzer.feedback(iteration, 10)
+        assert len(fuzzer.corpus) == 1
+
+    def test_mutation_updates_parent_increment(self):
+        fuzzer = TurboFuzzer(TurboFuzzConfig(instructions_per_iteration=50))
+        iteration = fuzzer.generate_iteration()
+        fuzzer.feedback(iteration, 100)
+        parent = fuzzer.corpus.seeds[0]
+        iteration = fuzzer.generate_iteration()
+        fuzzer.feedback(iteration, 33)
+        assert parent.coverage_increment == 33
+
+    def test_interval_seed_with_patch(self):
+        fuzzer = TurboFuzzer(TurboFuzzConfig(instructions_per_iteration=50))
+        blocks = [InstructionBlock("addi", [StimulusEntry(0x13)])]
+        fuzzer.add_interval_seed(blocks, 500, data_patch=(0x100, b"\x01\x02"))
+        assert fuzzer.corpus.seeds[0].origin == "interval"
+        iteration = fuzzer.generate_iteration()
+        assert (0x100, b"\x01\x02") in iteration.data_patches
+
+    def test_stats_accumulate(self):
+        fuzzer = TurboFuzzer(TurboFuzzConfig(instructions_per_iteration=100))
+        fuzzer.generate_iteration()
+        assert fuzzer.stats.iterations == 1
+        assert fuzzer.stats.instructions_generated >= 100

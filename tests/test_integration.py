@@ -1,0 +1,73 @@
+"""End-to-end integration: full campaigns with detection equivalence."""
+
+import pytest
+
+from repro.deepexplore import DeepExplore, DeepExploreConfig
+from repro.dut import make_core
+from repro.fuzzer import TurboFuzzConfig, TurboFuzzer
+from repro.harness import FuzzSession, IterationRunner, SessionConfig
+from repro.workloads import all_workloads
+
+
+class TestTriggerImpliesMismatch:
+    """The Table II fast path (bug condition fires) must agree with the
+    ground truth (instruction-level lockstep flags a divergence)."""
+
+    @pytest.mark.parametrize("bug_id,core_name", [
+        ("C1", "cva6"), ("C5", "cva6"), ("C9", "cva6"), ("C10", "cva6"),
+        ("B2", "boom"),
+    ])
+    def test_lockstep_catches_what_trigger_reports(self, bug_id, core_name):
+        config = SessionConfig(
+            core=core_name, bugs=(bug_id,), with_ref=True,
+            fuzzer_config=TurboFuzzConfig(instructions_per_iteration=800,
+                                          seed=7),
+        )
+        session = FuzzSession(config)
+        seconds, mismatch = session.run_until_mismatch(max_iterations=80)
+        assert mismatch is not None, f"{bug_id} never detected"
+        assert bug_id in session.core.hooks.triggered
+
+
+class TestCampaignDynamics:
+    def test_coverage_growth_has_diminishing_returns(self):
+        session = FuzzSession(SessionConfig(
+            fuzzer_config=TurboFuzzConfig(instructions_per_iteration=500)))
+        session.run_iterations(30)
+        gains = [h.new_coverage for h in session.history]
+        early = sum(gains[:10])
+        late = sum(gains[-10:])
+        assert late < early  # saturation
+
+    def test_corpus_grows_and_schedules(self):
+        session = FuzzSession(SessionConfig(
+            fuzzer_config=TurboFuzzConfig(instructions_per_iteration=500,
+                                          corpus_capacity=4)))
+        session.run_iterations(15)
+        corpus = session.fuzzer.corpus
+        assert len(corpus) == 4
+        assert corpus.evictions + corpus.rejected > 0
+
+    def test_deepexplore_full_schedule(self):
+        session = FuzzSession(SessionConfig(
+            fuzzer_config=TurboFuzzConfig(instructions_per_iteration=400)))
+        explorer = DeepExplore(session, DeepExploreConfig(
+            profile_cap=10_000, clusters=3, refine_rounds=2))
+        explorer.run(all_workloads(scale=1)[:2],
+                     total_virtual_seconds=session.clock.seconds + 0.05)
+        assert session.coverage_total > 1000
+        assert any(seed.origin == "interval"
+                   for seed in session.fuzzer.corpus.seeds)
+
+
+class TestDeterminism:
+    def test_identical_configs_produce_identical_campaigns(self):
+        def run():
+            session = FuzzSession(SessionConfig(
+                fuzzer_config=TurboFuzzConfig(
+                    instructions_per_iteration=300, seed=99)))
+            session.run_iterations(5)
+            return (session.coverage_total, session.clock.seconds,
+                    [h.executed_instructions for h in session.history])
+
+        assert run() == run()

@@ -1,0 +1,121 @@
+"""Sparse memory: loads/stores, ranges, page crossing, snapshots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ref.memory import MemoryAccessError, PAGE_SIZE, SparseMemory
+
+
+class TestBasicAccess:
+    def test_uninitialized_reads_zero(self):
+        memory = SparseMemory()
+        assert memory.load(0x1000, 8) == 0
+
+    def test_store_load_roundtrip(self):
+        memory = SparseMemory()
+        memory.store(0x2000, 8, 0x1122334455667788)
+        assert memory.load(0x2000, 8) == 0x1122334455667788
+        assert memory.load(0x2000, 4) == 0x55667788  # little endian
+
+    def test_byte_granularity(self):
+        memory = SparseMemory()
+        memory.store(0x10, 1, 0xAB)
+        memory.store(0x11, 1, 0xCD)
+        assert memory.load(0x10, 2) == 0xCDAB
+
+    def test_store_masks_to_size(self):
+        memory = SparseMemory()
+        memory.store(0x0, 2, 0x12345678)
+        assert memory.load(0x0, 4) == 0x5678
+
+    def test_page_crossing_access(self):
+        memory = SparseMemory()
+        address = PAGE_SIZE - 4
+        memory.store(address, 8, 0xDEADBEEFCAFEBABE)
+        assert memory.load(address, 8) == 0xDEADBEEFCAFEBABE
+
+    def test_load_bytes_across_unallocated_pages(self):
+        memory = SparseMemory()
+        memory.store(PAGE_SIZE * 2, 1, 0x7F)
+        blob = memory.load_bytes(PAGE_SIZE * 2 - 2, 4)
+        assert blob == b"\x00\x00\x7f\x00"
+
+    @given(
+        address=st.integers(min_value=0, max_value=1 << 20),
+        data=st.binary(min_size=1, max_size=64),
+    )
+    @settings(max_examples=60)
+    def test_bytes_roundtrip(self, address, data):
+        memory = SparseMemory()
+        memory.store_bytes(address, data)
+        assert memory.load_bytes(address, len(data)) == data
+
+
+class TestRanges:
+    def test_unrestricted_by_default(self):
+        memory = SparseMemory()
+        memory.store(0xFFFF_FFFF_0000, 8, 1)  # no error
+
+    def test_out_of_range_load_faults(self):
+        memory = SparseMemory(ranges=[(0x1000, 0x100)])
+        with pytest.raises(MemoryAccessError):
+            memory.load(0x2000, 4)
+
+    def test_straddling_range_end_faults(self):
+        memory = SparseMemory(ranges=[(0x1000, 0x100)])
+        with pytest.raises(MemoryAccessError):
+            memory.load(0x10FE, 4)
+
+    def test_in_range_succeeds(self):
+        memory = SparseMemory(ranges=[(0x1000, 0x100)])
+        memory.store(0x1080, 8, 42)
+        assert memory.load(0x1080, 8) == 42
+
+    def test_add_range_extends(self):
+        memory = SparseMemory(ranges=[(0x1000, 0x100)])
+        memory.add_range(0x4000, 0x100)
+        memory.store(0x4000, 4, 7)
+
+    def test_error_carries_details(self):
+        memory = SparseMemory(ranges=[(0, 16)])
+        with pytest.raises(MemoryAccessError) as info:
+            memory.load(0x40, 4, kind="fetch")
+        assert info.value.kind == "fetch"
+        assert info.value.address == 0x40
+
+
+class TestPrograms:
+    def test_write_program_and_fetch(self):
+        memory = SparseMemory()
+        memory.write_program(0x8000_0000, [0x13, 0x33001033])
+        assert memory.load_word(0x8000_0000) == 0x13
+        assert memory.load_word(0x8000_0004) == 0x33001033
+
+
+class TestSnapshots:
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 16),
+                st.integers(min_value=0, max_value=255),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_snapshot_restore_roundtrip(self, writes):
+        memory = SparseMemory()
+        for address, value in writes:
+            memory.store(address, 1, value)
+        pages = memory.snapshot_pages()
+        clone = SparseMemory()
+        clone.restore_pages(pages)
+        for address, _ in writes:
+            assert clone.load(address, 1) == memory.load(address, 1)
+
+    def test_resident_bytes_tracks_pages(self):
+        memory = SparseMemory()
+        assert memory.resident_bytes == 0
+        memory.store(0, 1, 1)
+        memory.store(PAGE_SIZE * 10, 1, 1)
+        assert memory.resident_bytes == 2 * PAGE_SIZE

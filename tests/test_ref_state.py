@@ -1,0 +1,75 @@
+"""Architectural state container: fcsr aliasing, snapshots, diff."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import csr as CSR
+from repro.ref import ArchState
+
+
+class TestRegisters:
+    def test_x0_is_hardwired(self):
+        state = ArchState()
+        state.write_x(0, 123)
+        assert state.read_x(0) == 0
+
+    def test_write_masks_to_64_bits(self):
+        state = ArchState()
+        state.write_x(1, 1 << 70)
+        assert state.read_x(1) == 0
+
+    def test_fp_write_sets_dirty(self):
+        state = ArchState()
+        state.write_f(3, 42)
+        status = state.csrs[CSR.MSTATUS]
+        assert status & CSR.MSTATUS_FS_MASK == CSR.MSTATUS_FS_DIRTY
+
+
+class TestFcsr:
+    @given(flags=st.integers(min_value=0, max_value=31),
+           rm=st.integers(min_value=0, max_value=7))
+    def test_fflags_frm_pack_independently(self, flags, rm):
+        state = ArchState()
+        state.fflags = flags
+        state.frm = rm
+        assert state.fflags == flags and state.frm == rm
+        assert state.csrs[CSR.FCSR] == CSR.pack_fcsr(flags, rm)
+
+    def test_accrue_is_sticky(self):
+        state = ArchState()
+        state.accrue_fflags(CSR.FFLAGS_NX)
+        state.accrue_fflags(CSR.FFLAGS_DZ)
+        assert state.fflags == CSR.FFLAGS_NX | CSR.FFLAGS_DZ
+
+    def test_unpack_roundtrip(self):
+        assert CSR.unpack_fcsr(CSR.pack_fcsr(0b10101, 0b011)) == (0b10101, 0b011)
+
+
+class TestSnapshotDiff:
+    def test_snapshot_restore(self):
+        state = ArchState()
+        state.write_x(5, 77)
+        state.write_f(2, 99)
+        state.pc = 0x1234
+        snapshot = state.snapshot()
+        state.write_x(5, 0)
+        state.pc = 0
+        state.restore(snapshot)
+        assert state.read_x(5) == 77 and state.pc == 0x1234
+
+    def test_diff_reports_changes(self):
+        a, b = ArchState(), ArchState()
+        b.write_x(3, 9)
+        b.csrs[CSR.MSCRATCH] = 1
+        differences = a.diff(b)
+        kinds = {(kind, index) for kind, index, _, _ in differences}
+        assert ("x", 3) in kinds and ("csr", CSR.MSCRATCH) in kinds
+
+    def test_identical_states_diff_empty(self):
+        assert ArchState().diff(ArchState()) == []
+
+    def test_misa_encodes_extensions(self):
+        state = ArchState(misa_extensions="IMAFD")
+        misa = state.csrs[CSR.MISA]
+        for letter in "IMAFD":
+            assert misa & (1 << (ord(letter) - ord("A")))
+        assert misa >> 62 == 2  # RV64

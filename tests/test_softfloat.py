@@ -1,0 +1,332 @@
+"""Softfloat: bit-exact IEEE-754 arithmetic, comparisons, conversions."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import bits_f32, bits_f64, f32_bits, f64_bits
+from repro.isa.csr import (
+    FFLAGS_DZ,
+    FFLAGS_NV,
+    FFLAGS_NX,
+    FFLAGS_OF,
+    FFLAGS_UF,
+    RM_RDN,
+    RM_RNE,
+    RM_RTZ,
+    RM_RUP,
+)
+from repro.softfloat import (
+    F32,
+    F64,
+    canonical_nan,
+    fp_add,
+    fp_classify,
+    fp_div,
+    fp_eq,
+    fp_fma,
+    fp_le,
+    fp_lt,
+    fp_max,
+    fp_min,
+    fp_mul,
+    fp_sqrt,
+    fp_sub,
+    fp_to_fp,
+    fp_to_int,
+    int_to_fp,
+    is_nan,
+    is_nan_boxed,
+    nan_box,
+    nan_unbox,
+)
+from repro.softfloat.compare import (
+    CLASS_NEG_INF,
+    CLASS_NEG_ZERO,
+    CLASS_POS_NORMAL,
+    CLASS_POS_SUBNORMAL,
+    CLASS_QNAN,
+    CLASS_SNAN,
+)
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+
+
+def _same_double(bits_value, host_value):
+    got = bits_f64(bits_value)
+    if math.isnan(host_value):
+        return math.isnan(got)
+    return got == host_value and (
+        math.copysign(1, got) == math.copysign(1, host_value)
+    )
+
+
+class TestArithAgainstHost:
+    """The host FPU is IEEE-754 binary64 RNE; results must match bit-for-bit."""
+
+    @given(a=finite_doubles, b=finite_doubles)
+    @settings(max_examples=300)
+    def test_add(self, a, b):
+        result, _ = fp_add(f64_bits(a), f64_bits(b), F64, RM_RNE)
+        assert _same_double(result, a + b)
+
+    @given(a=finite_doubles, b=finite_doubles)
+    @settings(max_examples=300)
+    def test_mul(self, a, b):
+        result, _ = fp_mul(f64_bits(a), f64_bits(b), F64, RM_RNE)
+        assert _same_double(result, a * b)
+
+    @given(a=finite_doubles, b=finite_doubles)
+    @settings(max_examples=300)
+    def test_div(self, a, b):
+        if b == 0:
+            return
+        result, _ = fp_div(f64_bits(a), f64_bits(b), F64, RM_RNE)
+        assert _same_double(result, a / b)
+
+    @given(a=finite_doubles, b=finite_doubles)
+    @settings(max_examples=200)
+    def test_sub(self, a, b):
+        result, _ = fp_sub(f64_bits(a), f64_bits(b), F64, RM_RNE)
+        assert _same_double(result, a - b)
+
+    @given(a=st.floats(min_value=0.0, allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200)
+    def test_sqrt(self, a):
+        result, _ = fp_sqrt(f64_bits(a), F64, RM_RNE)
+        assert _same_double(result, math.sqrt(a))
+
+
+class TestSpecialCases:
+    def test_zero_div_zero_is_invalid(self):
+        result, flags = fp_div(f64_bits(0.0), f64_bits(0.0), F64, RM_RNE)
+        assert result == canonical_nan(F64)
+        assert flags == FFLAGS_NV
+
+    def test_finite_div_zero_raises_dz(self):
+        result, flags = fp_div(f64_bits(3.0), f64_bits(0.0), F64, RM_RNE)
+        assert bits_f64(result) == math.inf
+        assert flags == FFLAGS_DZ
+
+    def test_negative_div_zero_sign(self):
+        result, flags = fp_div(f64_bits(-3.0), f64_bits(0.0), F64, RM_RNE)
+        assert bits_f64(result) == -math.inf
+
+    def test_inf_div_inf_is_invalid(self):
+        result, flags = fp_div(f64_bits(math.inf), f64_bits(math.inf),
+                               F64, RM_RNE)
+        assert flags == FFLAGS_NV
+
+    def test_finite_div_inf_is_exact_zero(self):
+        result, flags = fp_div(f64_bits(5.0), f64_bits(math.inf), F64, RM_RNE)
+        assert result == 0 and flags == 0
+
+    def test_inf_minus_inf_is_invalid(self):
+        result, flags = fp_add(f64_bits(math.inf), f64_bits(-math.inf),
+                               F64, RM_RNE)
+        assert flags == FFLAGS_NV
+
+    def test_zero_times_inf_is_invalid(self):
+        result, flags = fp_mul(f64_bits(0.0), f64_bits(math.inf), F64, RM_RNE)
+        assert flags == FFLAGS_NV
+
+    def test_sqrt_negative_is_invalid(self):
+        result, flags = fp_sqrt(f64_bits(-1.0), F64, RM_RNE)
+        assert flags == FFLAGS_NV and result == canonical_nan(F64)
+
+    def test_sqrt_negative_zero_is_negative_zero(self):
+        result, flags = fp_sqrt(f64_bits(-0.0), F64, RM_RNE)
+        assert result == f64_bits(-0.0) and flags == 0
+
+    def test_overflow_sets_of_nx(self):
+        big = f64_bits(1.7976931348623157e308)
+        result, flags = fp_mul(big, f64_bits(2.0), F64, RM_RNE)
+        assert bits_f64(result) == math.inf
+        assert flags & FFLAGS_OF and flags & FFLAGS_NX
+
+    def test_overflow_rtz_gives_max_finite(self):
+        big = f64_bits(1.7976931348623157e308)
+        result, flags = fp_mul(big, f64_bits(2.0), F64, RM_RTZ)
+        assert bits_f64(result) == 1.7976931348623157e308
+        assert flags & FFLAGS_OF
+
+    def test_underflow_sets_uf_nx(self):
+        tiny = f64_bits(5e-324)
+        result, flags = fp_mul(tiny, f64_bits(0.5), F64, RM_RNE)
+        assert flags & FFLAGS_NX
+        # 5e-324 * 0.5 rounds to 0 or stays subnormal depending on tie.
+        assert flags & FFLAGS_UF
+
+    def test_exact_operations_raise_no_flags(self):
+        result, flags = fp_add(f64_bits(1.5), f64_bits(2.5), F64, RM_RNE)
+        assert flags == 0 and bits_f64(result) == 4.0
+
+    def test_cancellation_zero_sign_rne_vs_rdn(self):
+        a, b = f64_bits(1.0), f64_bits(-1.0)
+        rne, _ = fp_add(a, b, F64, RM_RNE)
+        rdn, _ = fp_add(a, b, F64, RM_RDN)
+        assert rne == f64_bits(0.0)
+        assert rdn == f64_bits(-0.0)
+
+    def test_snan_input_raises_nv(self):
+        snan = 0x7FF0_0000_0000_0001
+        result, flags = fp_add(snan, f64_bits(1.0), F64, RM_RNE)
+        assert flags == FFLAGS_NV and result == canonical_nan(F64)
+
+    def test_qnan_input_quiet(self):
+        qnan = 0x7FF8_0000_0000_0000
+        result, flags = fp_add(qnan, f64_bits(1.0), F64, RM_RNE)
+        assert flags == 0 and result == canonical_nan(F64)
+
+
+class TestRoundingModes:
+    def test_div_rounding_directions(self):
+        one, three = f64_bits(1.0), f64_bits(3.0)
+        down, _ = fp_div(one, three, F64, RM_RDN)
+        up, _ = fp_div(one, three, F64, RM_RUP)
+        truncated, _ = fp_div(one, three, F64, RM_RTZ)
+        assert bits_f64(up) > bits_f64(down)
+        assert truncated == down  # positive value: RTZ == RDN
+
+    def test_negative_value_rtz_vs_rdn(self):
+        minus_one, three = f64_bits(-1.0), f64_bits(3.0)
+        down, _ = fp_div(minus_one, three, F64, RM_RDN)
+        truncated, _ = fp_div(minus_one, three, F64, RM_RTZ)
+        assert bits_f64(down) < bits_f64(truncated)
+
+
+class TestFma:
+    def test_fma_single_rounding(self):
+        # (1 + 2^-52) * (1 + 2^-52) + (-1) is inexact under two roundings
+        # but exactly representable intermediate catches double rounding.
+        a = f64_bits(1.0 + 2**-52)
+        c = f64_bits(-1.0)
+        result, flags = fp_fma(a, a, c, F64, RM_RNE)
+        expected = (1 + 2**-52) * (1 + 2**-52) - 1  # exact: 2^-51 + 2^-104
+        assert bits_f64(result) == pytest.approx(expected, rel=1e-15)
+
+    def test_fma_inf_times_zero_invalid_even_with_qnan_addend(self):
+        qnan = 0x7FF8_0000_0000_0000
+        result, flags = fp_fma(f64_bits(math.inf), f64_bits(0.0), qnan,
+                               F64, RM_RNE)
+        assert flags & FFLAGS_NV
+
+    def test_fnmadd_sign(self):
+        result, _ = fp_fma(f64_bits(2.0), f64_bits(3.0), f64_bits(1.0),
+                           F64, RM_RNE, negate_product=True, negate_c=True)
+        assert bits_f64(result) == -7.0
+
+    def test_fmsub(self):
+        result, _ = fp_fma(f64_bits(2.0), f64_bits(3.0), f64_bits(1.0),
+                           F64, RM_RNE, negate_c=True)
+        assert bits_f64(result) == 5.0
+
+
+class TestCompare:
+    def test_eq_zero_signs(self):
+        assert fp_eq(f64_bits(0.0), f64_bits(-0.0), F64)[0] == 1
+
+    def test_lt_nan_raises_nv(self):
+        qnan = 0x7FF8_0000_0000_0000
+        value, flags = fp_lt(qnan, f64_bits(1.0), F64)
+        assert value == 0 and flags == FFLAGS_NV
+
+    def test_eq_qnan_quiet(self):
+        qnan = 0x7FF8_0000_0000_0000
+        value, flags = fp_eq(qnan, f64_bits(1.0), F64)
+        assert value == 0 and flags == 0
+
+    def test_le(self):
+        assert fp_le(f64_bits(1.0), f64_bits(1.0), F64)[0] == 1
+        assert fp_le(f64_bits(2.0), f64_bits(1.0), F64)[0] == 0
+
+    def test_min_negative_zero(self):
+        result, _ = fp_min(f64_bits(0.0), f64_bits(-0.0), F64)
+        assert result == f64_bits(-0.0)
+
+    def test_max_with_nan_returns_other(self):
+        qnan = 0x7FF8_0000_0000_0000
+        result, _ = fp_max(qnan, f64_bits(3.0), F64)
+        assert bits_f64(result) == 3.0
+
+    def test_min_both_nan_canonical(self):
+        qnan = 0x7FF8_0000_0000_0001
+        result, _ = fp_min(qnan, qnan, F64)
+        assert result == canonical_nan(F64)
+
+    @given(a=finite_doubles, b=finite_doubles)
+    @settings(max_examples=150)
+    def test_lt_matches_host(self, a, b):
+        value, _ = fp_lt(f64_bits(a), f64_bits(b), F64)
+        assert value == (1 if a < b else 0)
+
+    def test_classify(self):
+        assert fp_classify(f64_bits(-math.inf), F64) == CLASS_NEG_INF
+        assert fp_classify(f64_bits(-0.0), F64) == CLASS_NEG_ZERO
+        assert fp_classify(f64_bits(1.0), F64) == CLASS_POS_NORMAL
+        assert fp_classify(f64_bits(5e-324), F64) == CLASS_POS_SUBNORMAL
+        assert fp_classify(0x7FF8_0000_0000_0000, F64) == CLASS_QNAN
+        assert fp_classify(0x7FF0_0000_0000_0001, F64) == CLASS_SNAN
+
+
+class TestConversions:
+    @given(value=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_int32_roundtrip(self, value):
+        bits_value, _ = int_to_fp(value & 0xFFFFFFFF, 32, True, F64, RM_RNE)
+        back, flags = fp_to_int(bits_value, F64, RM_RTZ, 32, True)
+        signed = back - (1 << 32) if back >> 31 else back
+        assert signed == value
+
+    def test_fp_to_int_nan_gives_max_and_nv(self):
+        qnan = 0x7FF8_0000_0000_0000
+        value, flags = fp_to_int(qnan, F64, RM_RTZ, 32, True)
+        assert value == 0x7FFFFFFF and flags == FFLAGS_NV
+
+    def test_fp_to_int_overflow_clamps_with_nv(self):
+        value, flags = fp_to_int(f64_bits(1e20), F64, RM_RTZ, 32, True)
+        assert value == 0x7FFFFFFF and flags == FFLAGS_NV
+        value, flags = fp_to_int(f64_bits(-1e20), F64, RM_RTZ, 32, True)
+        assert value == 0x80000000 and flags == FFLAGS_NV
+
+    def test_fp_to_int_inexact(self):
+        value, flags = fp_to_int(f64_bits(2.5), F64, RM_RTZ, 64, True)
+        assert value == 2 and flags == FFLAGS_NX
+
+    def test_fp_to_unsigned_negative_clamps(self):
+        value, flags = fp_to_int(f64_bits(-1.0), F64, RM_RTZ, 32, False)
+        assert value == 0 and flags == FFLAGS_NV
+
+    @given(value=finite_doubles)
+    @settings(max_examples=150)
+    def test_f64_to_f32_matches_host(self, value):
+        import numpy
+
+        result, _ = fp_to_fp(f64_bits(value), F64, F32, RM_RNE)
+        # numpy rounds to float32 per IEEE (struct.pack raises on values
+        # that would round to infinity).
+        host = float(numpy.float32(value))
+        got = bits_f32(result)
+        if math.isnan(host):
+            assert math.isnan(got)
+        else:
+            assert got == host and math.copysign(1, got) == math.copysign(1, host)
+
+    def test_f32_to_f64_exact(self):
+        result, flags = fp_to_fp(f32_bits(1.5), F32, F64, RM_RNE)
+        assert bits_f64(result) == 1.5 and flags == 0
+
+
+class TestNanBoxing:
+    def test_box_unbox_roundtrip(self):
+        boxed = nan_box(f32_bits(3.25))
+        assert is_nan_boxed(boxed)
+        assert nan_unbox(boxed) == f32_bits(3.25)
+
+    def test_invalid_box_yields_canonical_nan(self):
+        assert nan_unbox(0x0000_0000_3F80_0000) == F32.canonical_nan_bits
+
+    @given(payload=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_boxing_preserves_payload(self, payload):
+        assert nan_unbox(nan_box(payload)) == payload
