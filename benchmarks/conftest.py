@@ -28,3 +28,14 @@ def print_header(title):
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def persist(name, payload):
+    """Persist a figure/table's data as JSON so runs can be diffed across
+    PRs (``$TURBOFUZZ_DATA_DIR`` overrides the default ``benchmarks/data``
+    location)."""
+    from repro.campaign.report import dump_json
+
+    path = dump_json(payload, name)
+    print(f"[data] {name} -> {path}")
+    return path

@@ -1,6 +1,6 @@
 """Fig. 10 — deepExplore vs pure fuzzing vs benchmark-only execution."""
 
-from benchmarks.conftest import print_header, scaled
+from benchmarks.conftest import persist, print_header, scaled
 from repro.harness import experiments as ex
 
 
@@ -10,6 +10,7 @@ def test_fig10_deepexplore(benchmark):
         ex.fig10_deepexplore, kwargs={"fuzz_iterations": iterations},
         rounds=1, iterations=1,
     )
+    persist("fig10", result)
     print_header("Fig. 10: deepExplore coverage convergence")
     final = result["final"]
     print(f"deepExplore final:    {final['deepexplore']}")

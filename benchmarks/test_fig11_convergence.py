@@ -1,6 +1,6 @@
 """Fig. 11 — coverage convergence across all three fuzzing systems."""
 
-from benchmarks.conftest import print_header, scaled
+from benchmarks.conftest import persist, print_header, scaled
 from repro.harness import experiments as ex
 
 
@@ -13,6 +13,7 @@ def test_fig11_convergence(benchmark):
                 "max_iterations": scaled(160, 900)},
         rounds=1, iterations=1,
     )
+    persist("fig11", result)
     print_header("Fig. 11: coverage convergence (virtual-time axis)")
     print("paper @1/2/4h: TurboFuzz 1.26-1.31x vs Cascade, "
           "1.64-2.23x vs DifuzzRTL, 1000->4000 instr/iter up to 1.11x")

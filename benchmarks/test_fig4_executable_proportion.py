@@ -1,6 +1,6 @@
 """Fig. 4 — proportion of executable instructions in prior-work streams."""
 
-from benchmarks.conftest import print_header, scaled
+from benchmarks.conftest import persist, print_header, scaled
 from repro.harness import experiments as ex
 
 
@@ -10,6 +10,7 @@ def test_fig4_executable_proportion(benchmark):
         ex.fig4_executable_proportion, kwargs={"iterations": iterations},
         rounds=1, iterations=1,
     )
+    persist("fig4", result)
     print_header("Fig. 4: proportion of executable instructions (DifuzzRTL)")
     print(f"executed fraction of generated: {result['executed_fraction']:.3f}"
           f"   (paper: ~0.193)")

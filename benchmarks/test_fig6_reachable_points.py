@@ -1,6 +1,6 @@
 """Fig. 6 — instrumented vs achievable coverage points per layout."""
 
-from benchmarks.conftest import print_header
+from benchmarks.conftest import persist, print_header
 from repro.harness import experiments as ex
 
 
@@ -9,6 +9,7 @@ def test_fig6_reachable_points(benchmark):
         ex.fig6_reachable_points, kwargs={"state_sizes": (13, 14, 15)},
         rounds=1, iterations=1,
     )
+    persist("fig6", rows)
     print_header("Fig. 6: instrumented vs achievable coverage points")
     paper = {13: 0.768, 14: 0.655, 15: 0.614}
     for bits, row in rows.items():

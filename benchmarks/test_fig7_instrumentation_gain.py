@@ -1,6 +1,6 @@
 """Fig. 7 — coverage gain from the optimized instrumentation, per fuzzer."""
 
-from benchmarks.conftest import print_header, scaled
+from benchmarks.conftest import persist, print_header, scaled
 from repro.harness import experiments as ex
 
 
@@ -10,6 +10,7 @@ def test_fig7_instrumentation_gain(benchmark):
         ex.fig7_instrumentation_gain, kwargs={"iterations": iterations},
         rounds=1, iterations=1,
     )
+    persist("fig7", result)
     print_header("Fig. 7: max coverage, legacy vs optimized instrumentation")
     paper = {"difuzzrtl": 1.91, "cascade": 1.21, "turbofuzz": 1.56}
     for fuzzer, row in result.items():

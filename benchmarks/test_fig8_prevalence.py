@@ -1,6 +1,6 @@
 """Fig. 8 — prevalence comparison across fuzzers."""
 
-from benchmarks.conftest import print_header, scaled
+from benchmarks.conftest import persist, print_header, scaled
 from repro.harness import experiments as ex
 
 
@@ -10,6 +10,7 @@ def test_fig8_prevalence(benchmark):
         ex.fig8_prevalence, kwargs={"iterations": iterations},
         rounds=1, iterations=1,
     )
+    persist("fig8", result)
     print_header("Fig. 8: prevalence (fuzzing / executed instructions)")
     paper = {
         "difuzzrtl": "< 0.20",

@@ -1,6 +1,6 @@
 """Fig. 9 — coverage-increment corpus scheduling vs FIFO."""
 
-from benchmarks.conftest import print_header, scaled
+from benchmarks.conftest import persist, print_header, scaled
 from repro.harness import experiments as ex
 
 
@@ -10,6 +10,7 @@ def test_fig9_corpus_scheduling(benchmark):
         ex.fig9_corpus_scheduling, kwargs={"iterations": iterations},
         rounds=1, iterations=1,
     )
+    persist("fig9", result)
     print_header("Fig. 9: corpus scheduling (coverage-increment vs FIFO)")
     finals = result["final_coverage"]
     print(f"coverage policy final: {finals['coverage']}")

@@ -1,6 +1,6 @@
 """Table I — fuzzing speed and executed instructions per second."""
 
-from benchmarks.conftest import print_header, scaled
+from benchmarks.conftest import persist, print_header, scaled
 from repro.harness import experiments as ex
 
 PAPER = {
@@ -16,6 +16,7 @@ def test_table1_fuzzing_speed(benchmark):
         ex.table1_fuzzing_speed, kwargs={"iterations": iterations},
         rounds=1, iterations=1,
     )
+    persist("table1", rows)
     print_header("Table I: fuzzing performance comparison")
     print(f"{'fuzzer':12s} {'speed (Hz)':>12s} {'paper':>8s} "
           f"{'exec inst/s':>14s} {'paper':>10s}")

@@ -5,7 +5,7 @@ runs all thirteen (the FP corner-case bugs need thousands of software-fuzzer
 iterations to trigger, exactly as the paper's hour-scale SW times suggest).
 """
 
-from benchmarks.conftest import print_header, scaled
+from benchmarks.conftest import persist, print_header, scaled
 from repro.harness import experiments as ex
 
 FAST_BUGS = ("C1", "C5", "C7", "C10", "R1")
@@ -24,6 +24,7 @@ def test_table2_bug_detection(benchmark):
         },
         rounds=1, iterations=1,
     )
+    persist("table2", result)
     print_header("Table II: bug identification performance")
     print(f"{'bug':5s} {'HW (s)':>8s} {'SW (s)':>9s} {'ratio':>8s} "
           f"{'paper HW':>9s} {'paper SW':>9s} {'paper ratio':>12s}")

@@ -6,14 +6,16 @@
    and captures a hardware snapshot for offline debugging.
 2. The DifuzzRTL software baseline on the same DUT, for the Table II
    acceleration-ratio comparison.
+
+Both campaigns are declared as :class:`~repro.campaign.CampaignSpec`
+variants of one base spec and share an instrumentation cache.
 """
 
+from repro.campaign import CampaignSpec, InstrumentationCache, build_session
 from repro.dut import BUGS_BY_ID
-from repro.fuzzer import TurboFuzzConfig
-from repro.harness import FuzzSession, SessionConfig
-from repro.harness.experiments import make_session
 
 BUG_ID = "C1"  # incorrect DZ flag for 0/0 division
+BASE = CampaignSpec(core="cva6", bugs=(BUG_ID,))
 
 
 def main():
@@ -22,25 +24,26 @@ def main():
     print(f"(paper: SW {bug.sw_time_s:.1f} s, HW {bug.hw_time_s:.2f} s, "
           f"{bug.sw_time_s / bug.hw_time_s:.1f}x)")
     print()
+    cache = InstrumentationCache()
 
     # --- TurboFuzz with full lockstep checking + snapshots ---------------
-    session = FuzzSession(SessionConfig(
-        core="cva6",
-        bugs=(BUG_ID,),
-        with_ref=True,
-        capture_snapshots=True,
-        fuzzer_config=TurboFuzzConfig(instructions_per_iteration=1000),
-    ))
+    session = build_session(
+        BASE.named("turbofuzz")
+        .with_checking(with_ref=True, capture_snapshots=True)
+        .with_fuzzer("turbofuzz", instructions_per_iteration=1000),
+        cache=cache,
+    )
     seconds, mismatch = session.run_until_mismatch(max_iterations=300)
     print(f"TurboFuzz: divergence after {session.iterations} iterations, "
           f"{seconds:.3f} virtual s")
     print(f"  {mismatch.describe()}")
-    snapshot = session.history[-1].mismatch and None
     last = session.history[-1]
     print(f"  coverage at detection: {last.coverage_total}")
 
     # --- DifuzzRTL baseline ----------------------------------------------
-    sw_session = make_session("difuzzrtl", core="cva6", bugs=(BUG_ID,))
+    sw_session = build_session(
+        BASE.named("difuzzrtl").with_fuzzer("difuzzrtl"), cache=cache
+    )
     sw_seconds = sw_session.run_until_bug_triggered(
         BUG_ID, max_iterations=3000, coarse_detection=(1, 2))
     if sw_seconds is None:

@@ -5,32 +5,32 @@ Stage 1 profiles synthetic coremark/dhrystone/microbench programs on the
 DUT, extracts SimPoint-representative intervals, and plants them as corpus
 seeds with reconstructed initialization contexts.  Stage 2 fuzzes over the
 enriched corpus.  The script compares the final coverage against a pure
-fuzzing campaign with the same virtual-time budget.
+fuzzing campaign with the same virtual-time budget; both sessions come
+from one :class:`~repro.campaign.CampaignSpec` and share an
+instrumentation cache, so the Rocket netlist is instrumented once.
 """
 
+from repro.campaign import CampaignSpec, InstrumentationCache, build_session
 from repro.deepexplore import DeepExplore, DeepExploreConfig
-from repro.fuzzer import TurboFuzzConfig
-from repro.harness import FuzzSession, SessionConfig
 from repro.workloads import all_workloads
 
-
-def build_session():
-    return FuzzSession(SessionConfig(
-        core="rocket",
-        fuzzer_config=TurboFuzzConfig(instructions_per_iteration=1000),
-    ))
+SPEC = CampaignSpec(core="rocket").with_fuzzer(
+    "turbofuzz", instructions_per_iteration=1000
+)
 
 
 def main():
+    cache = InstrumentationCache()
+
     # Pure fuzzing reference.
-    fuzz_session = build_session()
+    fuzz_session = build_session(SPEC.named("fuzz_only"), cache=cache)
     fuzz_session.run_iterations(150)
     budget = fuzz_session.clock.seconds
     print(f"pure fuzzing: {fuzz_session.coverage_total} points in "
           f"{budget * 1e3:.1f} virtual ms")
 
     # deepExplore.
-    session = build_session()
+    session = build_session(SPEC.named("deepexplore"), cache=cache)
     explorer = DeepExplore(session, DeepExploreConfig(
         interval_length=800, clusters=6, profile_cap=40_000,
         refine_rounds=2))
@@ -54,6 +54,7 @@ def main():
     print(f"deepExplore: {session.coverage_total} points")
     ratio = session.coverage_total / max(1, fuzz_session.coverage_total)
     print(f"vs pure fuzzing: {ratio:.3f}x   (paper: +2.6% at the 1h scale)")
+    print(f"instrumentation cache: {cache.stats}")
 
 
 if __name__ == "__main__":

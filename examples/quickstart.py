@@ -1,34 +1,38 @@
 #!/usr/bin/env python3
 """Quickstart: fuzz the Rocket core for a few hundred iterations.
 
-Builds a TurboFuzz session (Rocket DUT + optimized 15-bit register-coverage
-instrumentation + the hardware-timing model), runs a short campaign, and
-prints the coverage trajectory and fuzzer statistics.
+Declares the campaign as a :class:`~repro.campaign.CampaignSpec` (Rocket
+DUT + optimized 15-bit register-coverage instrumentation + the hardware
+timing model), subscribes a progress observer on the session's event bus,
+runs a short campaign, and prints the coverage trajectory and fuzzer
+statistics.
 """
 
-from repro.fuzzer import TurboFuzzConfig
-from repro.harness import FuzzSession, SessionConfig
+from repro.campaign import CampaignSpec, build_session
 
 
 def main():
-    config = SessionConfig(
-        core="rocket",
-        instrument_style="optimized",
-        max_state_size=15,
-        fuzzer_config=TurboFuzzConfig(instructions_per_iteration=1000),
+    spec = (
+        CampaignSpec(core="rocket")
+        .named("quickstart")
+        .with_instrumentation(style="optimized", max_state_size=15)
+        .with_fuzzer("turbofuzz", instructions_per_iteration=1000)
     )
-    session = FuzzSession(config)
+    session = build_session(spec)
 
-    print("fuzzing Rocket (1000 instructions/iteration)...")
-    for index in range(60):
-        outcome = session.run_iteration()
-        if index % 10 == 0:
+    @session.bus.on_iteration
+    def progress(session, iteration, result, outcome):
+        if outcome.index % 10 == 0:
             print(
-                f"  iter {index:3d}: coverage={outcome.coverage_total:>7d} "
+                f"  iter {outcome.index:3d}: "
+                f"coverage={outcome.coverage_total:>7d} "
                 f"(+{outcome.new_coverage}) prevalence="
                 f"{outcome.prevalence:.3f} virtual t="
                 f"{outcome.virtual_seconds * 1e3:7.1f} ms"
             )
+
+    print("fuzzing Rocket (1000 instructions/iteration)...")
+    session.run_iterations(60)
 
     print()
     print(f"total coverage points: {session.coverage_total}")

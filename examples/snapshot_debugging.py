@@ -1,25 +1,31 @@
 #!/usr/bin/env python3
 """Hardware-snapshot debugging workflow (paper Section III).
 
-Fuzz a buggy BOOM until the checker halts, capture the full design state,
-serialize it (the FPGA-readback-to-host transfer), restore it into a fresh
-core, and replay the run deterministically — the StateMover-style offline
-analysis loop TurboFuzz automates.
+Fuzz a buggy BOOM until the checker halts — observed through the campaign
+event bus's ``mismatch`` event — capture the full design state, serialize
+it (the FPGA-readback-to-host transfer), restore it into a fresh core, and
+replay the run deterministically — the StateMover-style offline analysis
+loop TurboFuzz automates.
 """
 
+from repro.campaign import CampaignSpec, build_session
 from repro.dut import make_core
-from repro.fuzzer import TurboFuzzConfig
-from repro.harness import FuzzSession, HardwareSnapshot, SessionConfig
+from repro.harness import HardwareSnapshot
 
 
 def main():
-    session = FuzzSession(SessionConfig(
-        core="boom",
-        bugs=("B2",),  # invalid frm silently accepted
-        with_ref=True,
-        capture_snapshots=True,
-        fuzzer_config=TurboFuzzConfig(instructions_per_iteration=800),
-    ))
+    spec = (
+        CampaignSpec(core="boom", bugs=("B2",))  # invalid frm accepted
+        .with_checking(with_ref=True, capture_snapshots=True)
+        .with_fuzzer("turbofuzz", instructions_per_iteration=800)
+    )
+    session = build_session(spec)
+
+    @session.bus.on_mismatch
+    def triage(session, outcome, mismatch, snapshot):
+        print(f"  [bus] divergence at iteration {outcome.index}: "
+              f"{mismatch.describe()}")
+
     seconds, mismatch = session.run_until_mismatch(max_iterations=200)
     print(f"mismatch after {seconds:.3f} virtual s:")
     print(f"  {mismatch.describe()}")

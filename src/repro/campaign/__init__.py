@@ -1,0 +1,63 @@
+"""The Campaign API: declarative, pluggable, multi-session fuzzing.
+
+This package turns the monolithic session factory into a layered API:
+
+* :class:`CampaignSpec` — a declarative, JSON-round-trippable description
+  of one campaign (:mod:`repro.campaign.spec`),
+* registries + ``@register_fuzzer`` / ``@register_core`` /
+  ``register_timing`` — third-party fuzzers, cores, and timing models plug
+  in without touching core files (:mod:`repro.campaign.registry`),
+* :class:`EventBus` — ``iteration`` / ``new_coverage`` / ``mismatch`` /
+  ``milestone`` observers replace driver-loop special cases
+  (:mod:`repro.campaign.events`),
+* :class:`CampaignSession` / :func:`build_session` — spec -> running
+  campaign (:mod:`repro.campaign.session`),
+* :class:`CampaignOrchestrator` — N specs as shards: batched round-robin
+  on a shared virtual-time axis, per-shard deterministic seeding, a shared
+  :class:`InstrumentationCache`, aggregate reporting
+  (:mod:`repro.campaign.orchestrator`),
+* :mod:`repro.campaign.report` — JSON export of figure data.
+"""
+
+from repro.campaign.cache import InstrumentationCache
+from repro.campaign.events import EventBus
+from repro.campaign.orchestrator import CampaignOrchestrator, derive_seed
+from repro.campaign.registry import (
+    CORES,
+    FUZZERS,
+    TIMINGS,
+    FuzzerPlugin,
+    Registry,
+    register_core,
+    register_fuzzer,
+    register_timing,
+)
+from repro.campaign.report import campaign_report, dump_json, to_jsonable
+from repro.campaign.session import (
+    CampaignSession,
+    IterationOutcome,
+    build_session,
+)
+from repro.campaign.spec import CampaignSpec
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignSession",
+    "CampaignOrchestrator",
+    "IterationOutcome",
+    "InstrumentationCache",
+    "EventBus",
+    "Registry",
+    "FuzzerPlugin",
+    "FUZZERS",
+    "CORES",
+    "TIMINGS",
+    "register_fuzzer",
+    "register_core",
+    "register_timing",
+    "build_session",
+    "derive_seed",
+    "campaign_report",
+    "dump_json",
+    "to_jsonable",
+]

@@ -1,0 +1,74 @@
+"""Shared instrumentation cache for campaign grids.
+
+``instrument_design`` runs the control-register extraction pass and builds
+one deterministic layout per module — the same work for every shard of a
+fig11-style grid that instruments the same core the same way.  The cache
+keys that work by ``(core, style, max_state_size, seed)`` and reuses the
+*layouts* across shards, building only the cheap per-shard collector state
+(coverage maps, memo tables), so runtime coverage stays fully isolated
+per shard while the placement computation runs once per distinct key.
+
+Layout sharing is sound because a layout only reads static register
+attributes (width, value domain) that are identical across instances of
+the same core class, and cores bind to collectors by register *name*
+(:meth:`~repro.dut.core.DutCore.attach_coverage`), never through the
+layout's register objects.
+"""
+
+from repro.coverage import FeedbackWeights, instrument_design
+from repro.coverage.instrument import DesignCoverage, ModuleCoverage
+
+
+class InstrumentationCache:
+    """Memoizes instrumentation layouts across campaign shards."""
+
+    def __init__(self):
+        self._layouts = {}  # key -> [(module_name, layout), ...]
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._layouts)
+
+    @property
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._layouts)}
+
+    def instrument(self, core, style="optimized", max_state_size=15,
+                   seed=0, weights=None):
+        """Return a fresh :class:`DesignCoverage` for ``core``, reusing
+        cached layouts when an identical instrumentation was built before.
+
+        ``weights`` is per-shard state and is never part of the key.
+        """
+        key = (core.name, style, max_state_size, seed)
+        weights = weights or FeedbackWeights()
+        cached = self._layouts.get(key)
+        if cached is None:
+            self.misses += 1
+            design = instrument_design(
+                core.top, style=style, max_state_size=max_state_size,
+                seed=seed, weights=weights,
+            )
+            self._layouts[key] = [
+                (coverage.name, coverage.layout) for coverage in design.modules
+            ]
+            return design
+        self.hits += 1
+        modules_by_name = {module.name: module for module in core.top.walk()}
+        coverages = []
+        for module_name, layout in cached:
+            module = modules_by_name.get(module_name)
+            if module is None:
+                raise ValueError(
+                    f"cached instrumentation for {key!r} names module "
+                    f"{module_name!r}, absent from this {core.name!r} netlist"
+                )
+            coverages.append(ModuleCoverage(module, layout))
+        return DesignCoverage(coverages, weights=weights)
+
+    def clear(self):
+        self._layouts.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,83 @@
+"""Campaign event bus: observers replace driver-loop special cases.
+
+A :class:`CampaignSession` emits a small, fixed vocabulary of events while
+it runs; reporting, plotting, and bug triage subscribe instead of poking
+at the session's internals after the fact.  Events:
+
+* ``iteration`` — after every iteration; payload carries the session, the
+  generated :class:`~repro.fuzzer.blocks.Iteration`, the raw
+  :class:`~repro.harness.runner.RunResult`, and the recorded
+  :class:`~repro.campaign.session.IterationOutcome`.
+* ``new_coverage`` — only when the iteration found new coverage points.
+* ``mismatch`` — a DUT/REF divergence was flagged by the checker.
+* ``milestone`` — coarse campaign landmarks (``campaign_start``,
+  ``coverage_target``, ``bug_triggered``, ``shard_done``, ...); payload
+  always carries ``kind``.
+
+Subscribers are called synchronously, in subscription order, on the
+thread that runs the iteration — handlers must be cheap and must not
+re-enter the session.  ``subscribe`` returns an unsubscribe callable so
+short-lived observers (a figure driver collecting a histogram) can detach
+cleanly.
+"""
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for campaign events."""
+
+    EVENTS = ("iteration", "new_coverage", "mismatch", "milestone")
+
+    def __init__(self):
+        self._handlers = {event: [] for event in self.EVENTS}
+        self.emitted = {event: 0 for event in self.EVENTS}
+
+    # -- subscription -----------------------------------------------------------
+    def subscribe(self, event, handler):
+        """Register ``handler`` for ``event``; returns an unsubscribe
+        callable (idempotent)."""
+        if event not in self._handlers:
+            raise ValueError(
+                f"unknown event {event!r} (expected one of {self.EVENTS})"
+            )
+        handlers = self._handlers[event]
+        handlers.append(handler)
+
+        def unsubscribe():
+            if handler in handlers:
+                handlers.remove(handler)
+
+        return unsubscribe
+
+    # Decorator-friendly aliases: bus.on_iteration(fn) or @bus.on_iteration.
+    def on_iteration(self, handler):
+        self.subscribe("iteration", handler)
+        return handler
+
+    def on_new_coverage(self, handler):
+        self.subscribe("new_coverage", handler)
+        return handler
+
+    def on_mismatch(self, handler):
+        self.subscribe("mismatch", handler)
+        return handler
+
+    def on_milestone(self, handler):
+        self.subscribe("milestone", handler)
+        return handler
+
+    # -- emission ---------------------------------------------------------------
+    def emit(self, event, **payload):
+        """Dispatch ``payload`` to every handler subscribed to ``event``."""
+        self.emitted[event] += 1
+        # Copy: a handler may unsubscribe (itself or others) mid-dispatch.
+        for handler in list(self._handlers[event]):
+            handler(**payload)
+
+    def milestone(self, kind, **payload):
+        """Shorthand for ``emit("milestone", kind=kind, ...)``."""
+        self.emit("milestone", kind=kind, **payload)
+
+    def handler_count(self, event=None):
+        if event is not None:
+            return len(self._handlers[event])
+        return sum(len(handlers) for handlers in self._handlers.values())

@@ -1,0 +1,160 @@
+"""Multi-campaign orchestration: N specs as shards on one time axis.
+
+The paper's headline results all come from *grids* of campaigns
+({fuzzer × core × instrumentation × timing}); the orchestrator runs such a
+grid as shards with:
+
+* **batched round-robin scheduling on a shared virtual-time axis** — the
+  budget is cut into slices and every shard is advanced to each slice
+  frontier in turn, so long-running shards cannot starve short ones and
+  progress events interleave on a common clock;
+* **per-shard deterministic seeding** — ``reseed_base`` derives a distinct,
+  reproducible seed per shard index for specs that do not pin one;
+* **a shared instrumentation cache** — shards with identical
+  ``(core, style, max_state_size, seed)`` keys reuse one layout
+  computation instead of re-instrumenting the same netlist per shard;
+* **aggregate reporting** — merged coverage series and per-shard stats.
+
+Every shard publishes on one shared :class:`EventBus`, so a single
+subscriber observes the whole grid.
+"""
+
+from repro.campaign.cache import InstrumentationCache
+from repro.campaign.events import EventBus
+from repro.campaign.session import build_session
+
+
+def derive_seed(base, index):
+    """Deterministic, well-spread per-shard seed (never zero: a zero LFSR
+    state is degenerate)."""
+    mixed = (base * 0x9E3779B1 + (index + 1) * 0x85EBCA6B) & 0xFFFF_FFFF
+    return mixed or 1
+
+
+class CampaignOrchestrator:
+    """Runs a list of :class:`CampaignSpec` shards to completion."""
+
+    def __init__(self, specs, *, cache=None, bus=None, reseed_base=None):
+        self.bus = bus or EventBus()
+        self.cache = cache if cache is not None else InstrumentationCache()
+        self.specs = []
+        self.sessions = {}
+        for index, spec in enumerate(specs):
+            if reseed_base is not None and "seed" not in spec.fuzzer_options:
+                spec = spec.with_seed(derive_seed(reseed_base, index))
+            label = spec.label
+            if label in self.sessions:
+                label = f"{label}#{index}"
+                spec = spec.named(label)
+            self.specs.append(spec)
+            self.sessions[label] = build_session(
+                spec, bus=self.bus, cache=self.cache
+            )
+
+    # -- access -----------------------------------------------------------------
+    def __getitem__(self, label):
+        return self.sessions[label]
+
+    def __iter__(self):
+        return iter(self.sessions.items())
+
+    def __len__(self):
+        return len(self.sessions)
+
+    @property
+    def labels(self):
+        return list(self.sessions)
+
+    # -- scheduling -------------------------------------------------------------
+    def run_for_virtual_time(self, budget_seconds, max_iterations=None,
+                             slices=8):
+        """Advance every shard to the shared budget, slice by slice.
+
+        ``max_iterations`` caps each shard individually (the scaled-down
+        experiment budgets); per-shard results are identical to running
+        each session alone for the same budget, because shards share no
+        mutable state — only the layout cache, which is read-only after
+        construction.
+        """
+        slices = max(1, int(slices))
+        for step in range(1, slices + 1):
+            frontier = (budget_seconds if step == slices
+                        else budget_seconds * step / slices)
+            for label, session in self.sessions.items():
+                while session.clock.seconds < frontier:
+                    if (max_iterations is not None
+                            and session.iterations >= max_iterations):
+                        break
+                    session.run_iteration()
+            self.bus.milestone("time_slice", orchestrator=self,
+                               frontier=frontier, step=step, slices=slices)
+        for label, session in self.sessions.items():
+            self.bus.milestone("shard_done", orchestrator=self,
+                               shard=label, session=session)
+        return self
+
+    def run_iterations(self, count, batch=16):
+        """Run ``count`` iterations per shard in round-robin batches."""
+        remaining = {label: count for label in self.sessions}
+        while any(remaining.values()):
+            for label, session in self.sessions.items():
+                for _ in range(min(batch, remaining[label])):
+                    session.run_iteration()
+                    remaining[label] -= 1
+        for label, session in self.sessions.items():
+            self.bus.milestone("shard_done", orchestrator=self,
+                               shard=label, session=session)
+        return self
+
+    # -- aggregate reporting ----------------------------------------------------
+    def coverage_series(self):
+        """Per-shard ``label -> [(t, coverage)]``."""
+        return {label: session.coverage_series()
+                for label, session in self.sessions.items()}
+
+    def merged_coverage_series(self):
+        """One merged series on the shared time axis: at every event time,
+        the sum of each shard's last-known coverage total."""
+        events = []
+        for index, (label, session) in enumerate(self.sessions.items()):
+            for seconds, points in session.coverage_series():
+                events.append((seconds, index, points))
+        events.sort(key=lambda event: event[0])
+        latest = [0] * len(self.sessions)
+        merged = []
+        for seconds, index, points in events:
+            latest[index] = points
+            merged.append((seconds, sum(latest)))
+        return merged
+
+    def coverage_at(self, label, seconds):
+        """A shard's best coverage at or before ``seconds``."""
+        best = 0
+        for time_point, points in self.sessions[label].coverage_series():
+            if time_point <= seconds:
+                best = points
+        return best
+
+    def shard_stats(self):
+        """Per-shard summary numbers."""
+        return {
+            label: {
+                "spec": session.spec.to_dict(),
+                "iterations": session.iterations,
+                "coverage_total": session.coverage_total,
+                "virtual_seconds": session.clock.seconds,
+                "iteration_rate_hz": session.iteration_rate_hz(),
+                "executed_per_second": session.executed_per_second(),
+            }
+            for label, session in self.sessions.items()
+        }
+
+    def report(self):
+        """Aggregate report: per-shard stats + merged totals + cache use."""
+        stats = self.shard_stats()
+        return {
+            "shards": stats,
+            "total_coverage": sum(s["coverage_total"] for s in stats.values()),
+            "total_iterations": sum(s["iterations"] for s in stats.values()),
+            "instrumentation_cache": dict(self.cache.stats),
+        }

@@ -1,0 +1,185 @@
+"""Pluggable registries for fuzzers, cores, and timing models.
+
+The old ``make_session()`` factory hard-wired every fuzzer/core/timing
+combination through an if/elif chain; the registries collapse that chain
+into data.  A third-party scenario registers its pieces with a decorator
+and every campaign driver can name them in a :class:`CampaignSpec`
+without touching core files::
+
+    from repro.campaign import register_fuzzer, register_timing
+
+    MY_TIMING = register_timing(IterationTiming(name="myfuzz", ...))
+
+    @register_fuzzer("myfuzz", config_class=MyConfig, timing="myfuzz")
+    class MyFuzzer:
+        def generate_iteration(self): ...
+        def feedback(self, iteration, increment): ...
+
+Built-in fuzzers (turbofuzz / difuzzrtl / cascade), cores (rocket / cva6 /
+boom), and timing presets are pre-registered on import.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.baselines.cascade import CascadeConfig, CascadeFuzzer
+from repro.baselines.difuzzrtl import DifuzzRtlConfig, DifuzzRtlFuzzer
+from repro.dut import CORE_CLASSES
+from repro.fuzzer import TurboFuzzConfig, TurboFuzzer
+from repro.harness.timing import TIMING_PRESETS
+from repro.isa.instructions import Category
+
+
+class Registry:
+    """A name -> entry mapping with decorator-style registration."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        self._entries = {}
+
+    def register(self, name, entry=None, replace=False):
+        """Register ``entry`` under ``name``; with ``entry=None`` returns a
+        decorator.  Re-registering an existing name requires ``replace``."""
+        if entry is None:
+            return lambda obj: self.register(name, obj, replace=replace)
+        if name in self._entries and not replace:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name):
+        self._entries.pop(name, None)
+
+    def get(self, name):
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise ValueError(
+                f"unknown {self.kind} {name!r} (registered: {known})"
+            ) from None
+
+    def names(self):
+        return sorted(self._entries)
+
+    def __contains__(self, name):
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(sorted(self._entries))
+
+    def __len__(self):
+        return len(self._entries)
+
+
+FUZZERS = Registry("fuzzer")
+CORES = Registry("core")
+TIMINGS = Registry("timing model")
+
+
+@dataclass(frozen=True)
+class FuzzerPlugin:
+    """Everything a campaign needs to know about one fuzzer kind.
+
+    ``factory`` is called with a config instance and must return an object
+    implementing the fuzzer protocol (``generate_iteration()`` /
+    ``feedback()``).  ``timing`` names a :data:`TIMINGS` preset used when a
+    spec does not pick one explicitly.  ``stop_on_trap`` is the runner
+    default for this fuzzer (DifuzzRTL-style harnesses abort at the first
+    trap).  ``tweaks`` maps tweak names (e.g. ``allow_ebreak``) to
+    ``fn(fuzzer)`` callables applied after construction.
+    """
+
+    name: str
+    factory: object
+    config_class: type
+    timing: str
+    stop_on_trap: bool = False
+    tweaks: dict = field(default_factory=dict)
+
+    def build_config(self, options):
+        """Instantiate the config class from a plain options dict."""
+        return self.config_class(**dict(options or {}))
+
+    def build(self, options=None, config=None):
+        """Construct the fuzzer from ``options`` (or a prebuilt config)."""
+        if config is None:
+            config = self.build_config(options)
+        return self.factory(config)
+
+    def apply_tweak(self, fuzzer, name):
+        try:
+            tweak = self.tweaks[name]
+        except KeyError:
+            raise ValueError(
+                f"fuzzer {self.name!r} has no tweak {name!r} "
+                f"(available: {sorted(self.tweaks) or '<none>'})"
+            ) from None
+        tweak(fuzzer)
+
+
+def register_fuzzer(name, *, config_class, timing, stop_on_trap=False,
+                    tweaks=None, factory=None, replace=False):
+    """Register a fuzzer kind; usable directly or as a class decorator."""
+    def _register(cls_or_factory):
+        FUZZERS.register(
+            name,
+            FuzzerPlugin(
+                name=name,
+                factory=cls_or_factory,
+                config_class=config_class,
+                timing=timing,
+                stop_on_trap=stop_on_trap,
+                tweaks=dict(tweaks or {}),
+            ),
+            replace=replace,
+        )
+        return cls_or_factory
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def register_core(name, core_class=None, replace=False):
+    """Register a DUT core class; usable directly or as a decorator."""
+    return CORES.register(name, core_class, replace=replace)
+
+
+def register_timing(timing, name=None, replace=False):
+    """Register an :class:`~repro.harness.timing.IterationTiming` preset."""
+    return TIMINGS.register(name or timing.name, timing, replace=replace)
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations
+# ---------------------------------------------------------------------------
+def _turbofuzz_allow_ebreak(fuzzer):
+    fuzzer.direct.category_weights[Category.SYSTEM] = 1
+
+
+def _baseline_allow_ebreak(fuzzer):
+    fuzzer._weights[Category.SYSTEM] = 1
+
+
+for _timing in TIMING_PRESETS.values():
+    register_timing(_timing)
+
+register_fuzzer(
+    "turbofuzz", config_class=TurboFuzzConfig, timing="turbofuzz",
+    tweaks={"allow_ebreak": _turbofuzz_allow_ebreak},
+    factory=TurboFuzzer,
+)
+register_fuzzer(
+    "difuzzrtl", config_class=DifuzzRtlConfig, timing="difuzzrtl-fpga",
+    stop_on_trap=True,
+    tweaks={"allow_ebreak": _baseline_allow_ebreak},
+    factory=DifuzzRtlFuzzer,
+)
+register_fuzzer(
+    "cascade", config_class=CascadeConfig, timing="cascade",
+    tweaks={"allow_ebreak": _baseline_allow_ebreak},
+    factory=CascadeFuzzer,
+)
+
+for _name, _cls in CORE_CLASSES.items():
+    register_core(_name, _cls)

@@ -1,0 +1,68 @@
+"""Campaign result export: figure data as JSON, diffable across PRs.
+
+The benchmark harness regenerates the paper's figures/tables as plain
+dicts; :func:`dump_json` persists them (deterministically ordered) so two
+runs — or two PRs — can be diffed file-against-file.  :func:`to_jsonable`
+normalizes the campaign object graph (outcomes, run results, specs,
+tuples, module counts) into JSON-safe plain data.
+"""
+
+import json
+import os
+
+DEFAULT_DATA_DIR = os.path.join("benchmarks", "data")
+
+
+def to_jsonable(value):
+    """Recursively convert campaign values into JSON-encodable data."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # NaN/inf are not valid JSON; keep the report loadable everywhere.
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        return value
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(to_jsonable(item) for item in value)
+    if hasattr(value, "to_dict"):
+        return to_jsonable(value.to_dict())
+    if hasattr(value, "describe"):
+        return value.describe()
+    return repr(value)
+
+
+def campaign_report(session):
+    """One session's full exportable record (spec + history + totals)."""
+    return {
+        "spec": session.spec.to_dict(),
+        "iterations": session.iterations,
+        "virtual_seconds": session.clock.seconds,
+        "coverage_total": session.coverage_total,
+        "coverage_by_module": session.coverage.counts_by_module(),
+        "executed_instructions": session.total_executed,
+        "generated_instructions": session.total_generated,
+        "iteration_rate_hz": session.iteration_rate_hz(),
+        "executed_per_second": session.executed_per_second(),
+        "history": session.history_dicts(),
+    }
+
+
+def dump_json(payload, name, directory=None):
+    """Write ``payload`` as ``<directory>/<name>.json`` and return the path.
+
+    ``directory`` defaults to ``$TURBOFUZZ_DATA_DIR`` or
+    ``benchmarks/data``.  Output is sorted and indented so diffs are
+    stable.
+    """
+    directory = (directory or os.environ.get("TURBOFUZZ_DATA_DIR")
+                 or DEFAULT_DATA_DIR)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

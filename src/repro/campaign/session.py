@@ -1,0 +1,316 @@
+"""Campaign sessions: one reproducible fuzzing campaign built from a spec.
+
+A :class:`CampaignSession` resolves a declarative
+:class:`~repro.campaign.spec.CampaignSpec` through the registries
+(:mod:`repro.campaign.registry`), wires DUT + instrumentation + fuzzer +
+runner + virtual clock, and publishes its progress on an
+:class:`~repro.campaign.events.EventBus` — reporting, plotting, and bug
+triage subscribe instead of special-casing the driver loop.
+
+The legacy :class:`~repro.harness.session.FuzzSession` is now a thin
+compatibility shim over this class.
+"""
+
+from dataclasses import dataclass
+
+from repro.campaign.events import EventBus
+from repro.campaign.registry import CORES, FUZZERS, TIMINGS
+from repro.campaign.spec import CampaignSpec
+from repro.coverage import FeedbackWeights, instrument_design
+from repro.harness.clock import VirtualClock
+from repro.harness.runner import IterationRunner
+
+# The probabilistic end-of-program detection model (coarse_detection) draws
+# from its own LFSR so detection luck is decoupled from generation; the
+# seed is a campaign-level constant unless a caller overrides it.
+DEFAULT_DETECTION_SEED = 0xC0FFEE
+
+
+@dataclass
+class IterationOutcome:
+    """One point of a campaign's history."""
+
+    index: int
+    virtual_seconds: float
+    coverage_total: int
+    new_coverage: int
+    executed_instructions: int
+    prevalence: float
+    mismatch: object = None
+
+    def to_dict(self):
+        """Plain-data form for JSON export (Fig./Table persistence)."""
+        return {
+            "index": self.index,
+            "virtual_seconds": self.virtual_seconds,
+            "coverage_total": self.coverage_total,
+            "new_coverage": self.new_coverage,
+            "executed_instructions": self.executed_instructions,
+            "prevalence": self.prevalence,
+            "mismatch": (self.mismatch.describe()
+                         if self.mismatch is not None else None),
+        }
+
+
+class CampaignSession:
+    """A fuzzing campaign bound to one DUT and one fuzzer.
+
+    Normally constructed from a spec (``CampaignSession(spec)`` or
+    :func:`build_session`); the keyword overrides exist for the
+    ``FuzzSession`` compatibility shim and for tests that inject prebuilt
+    components:
+
+    * ``fuzzer`` — a prebuilt fuzzer instance (skips registry lookup),
+    * ``fuzzer_config`` — a prebuilt config for the plugin factory,
+    * ``timing`` — an :class:`~repro.harness.timing.IterationTiming`
+      instance overriding the spec/plugin timing preset,
+    * ``weights`` — a prebuilt :class:`~repro.coverage.FeedbackWeights`,
+    * ``cache`` — a shared
+      :class:`~repro.campaign.cache.InstrumentationCache`,
+    * ``bus`` — a shared :class:`~repro.campaign.events.EventBus`
+      (the orchestrator passes one bus to all shards).
+    """
+
+    def __init__(self, spec=None, *, fuzzer=None, fuzzer_config=None,
+                 timing=None, weights=None, cache=None, bus=None,
+                 detection_seed=DEFAULT_DETECTION_SEED):
+        self.spec = spec or CampaignSpec()
+        spec = self.spec
+        self.bus = bus or EventBus()
+        plugin = FUZZERS.get(spec.fuzzer) if spec.fuzzer in FUZZERS else None
+        if plugin is None and (fuzzer is None or timing is None):
+            FUZZERS.get(spec.fuzzer)  # raises with the known-names message
+        if plugin is None and spec.tweaks:
+            raise ValueError(
+                f"spec declares tweaks {spec.tweaks!r} but fuzzer "
+                f"{spec.fuzzer!r} is not registered; register the fuzzer "
+                "or apply the tweaks to the prebuilt instance"
+            )
+
+        # Exact registry match first; fall back to the lowercase form the
+        # core factory has always accepted ("Rocket" == "rocket").
+        core_name = (spec.core if spec.core in CORES
+                     else str(spec.core).lower())
+        core_class = CORES.get(core_name)
+        self.core = core_class(bugs=tuple(spec.bugs),
+                               rv32a_only=spec.rv32a_only)
+        self.weights = weights or FeedbackWeights(dict(spec.weight_shifts))
+        if cache is not None:
+            self.coverage = cache.instrument(
+                self.core, style=spec.instrument_style,
+                max_state_size=spec.max_state_size,
+                seed=spec.instrument_seed, weights=self.weights,
+            )
+        else:
+            self.coverage = instrument_design(
+                self.core.top, style=spec.instrument_style,
+                max_state_size=spec.max_state_size,
+                seed=spec.instrument_seed, weights=self.weights,
+            )
+        self.core.attach_coverage(self.coverage)
+
+        self.fuzzer = fuzzer or plugin.build(spec.fuzzer_options,
+                                             config=fuzzer_config)
+        if plugin is not None:
+            for tweak in spec.tweaks:
+                plugin.apply_tweak(self.fuzzer, tweak)
+
+        if spec.stop_on_trap is not None:
+            stop_on_trap = bool(spec.stop_on_trap)
+        else:
+            stop_on_trap = plugin.stop_on_trap if plugin else False
+        self.runner = IterationRunner(
+            self.core,
+            with_ref=spec.with_ref,
+            capture_snapshots=spec.capture_snapshots,
+            stop_on_trap=stop_on_trap,
+        )
+
+        if timing is not None:
+            self.timing = timing
+        elif spec.timing is not None:
+            self.timing = TIMINGS.get(spec.timing)
+        else:
+            self.timing = TIMINGS.get(plugin.timing)
+
+        self.clock = VirtualClock(self.core.default_frequency_hz)
+        self.history = []
+        self.total_executed = 0
+        self.total_generated = 0
+        self._detection_seed = detection_seed
+        self.bus.milestone("campaign_start", session=self, spec=spec)
+
+    # -- one iteration ---------------------------------------------------------
+    def run_iteration(self):
+        """Generate, execute, feed back, account time; returns the outcome."""
+        iteration = self.fuzzer.generate_iteration()
+        before = self.coverage.counts_by_module()
+        result = self.runner.run(iteration)
+        after = self.coverage.counts_by_module()
+        # The fuzzer's feedback scalar is the *weighted* N_cov increment
+        # (the auxiliary-shift mechanism of Section VI); the raw increment
+        # is what the experiment reports.
+        weighted_increment = self.coverage.weights.weighted_total(
+            {name: after[name] - before.get(name, 0) for name in after}
+        )
+        self.fuzzer.feedback(iteration, weighted_increment)
+        self.clock.advance_seconds(
+            self.timing.iteration_seconds(
+                generated=iteration.total_instructions,
+                executed=result.executed_instructions,
+                dut_cycles=result.cycles,
+                frequency_hz=self.core.default_frequency_hz,
+            )
+        )
+        self.total_executed += result.executed_instructions
+        self.total_generated += iteration.total_instructions
+        outcome = IterationOutcome(
+            index=len(self.history),
+            virtual_seconds=self.clock.seconds,
+            coverage_total=self.coverage.total_points,
+            new_coverage=result.new_coverage,
+            executed_instructions=result.executed_instructions,
+            prevalence=result.prevalence,
+            mismatch=result.mismatch,
+        )
+        self.history.append(outcome)
+        bus = self.bus
+        bus.emit("iteration", session=self, iteration=iteration,
+                 result=result, outcome=outcome)
+        if result.new_coverage > 0:
+            bus.emit("new_coverage", session=self, outcome=outcome,
+                     new_points=result.new_coverage)
+        if result.mismatch is not None:
+            bus.emit("mismatch", session=self, outcome=outcome,
+                     mismatch=result.mismatch, snapshot=result.snapshot)
+        return outcome
+
+    # -- campaign drivers ------------------------------------------------------
+    def run_for_virtual_time(self, virtual_seconds, max_iterations=None):
+        """Iterate until the virtual clock passes the budget."""
+        while self.clock.seconds < virtual_seconds:
+            if max_iterations is not None and len(self.history) >= max_iterations:
+                break
+            self.run_iteration()
+        return self.history
+
+    def run_iterations(self, count):
+        """Run a fixed number of iterations."""
+        for _ in range(count):
+            self.run_iteration()
+        return self.history
+
+    def run_until_coverage(self, target_points, max_iterations=100_000):
+        """Iterate until total coverage reaches the target; returns the
+        virtual time at which it was reached (None if never)."""
+        for _ in range(max_iterations):
+            outcome = self.run_iteration()
+            if outcome.coverage_total >= target_points:
+                self.bus.milestone("coverage_target", session=self,
+                                   target=target_points, outcome=outcome)
+                return outcome.virtual_seconds
+        return None
+
+    def run_until_mismatch(self, max_iterations=100_000):
+        """Iterate (with REF checking on) until a mismatch; returns
+        ``(virtual_seconds, mismatch)`` or ``(None, None)``.
+
+        The reported time includes the timing model's detection latency
+        (snapshot capture and readback for TurboFuzz, trace dump for the
+        software fuzzers).
+        """
+        for _ in range(max_iterations):
+            outcome = self.run_iteration()
+            if outcome.mismatch is not None:
+                self.clock.advance_seconds(self.timing.detection_s)
+                self.bus.milestone("mismatch_confirmed", session=self,
+                                   outcome=outcome,
+                                   seconds=self.clock.seconds)
+                return self.clock.seconds, outcome.mismatch
+        return None, None
+
+    def bug_trigger_set(self):
+        """The DUT hooks' fired-bug set; raises if the core carries no
+        injected bugs (the hooks then have no trigger set and a trigger
+        wait would be a guaranteed-timeout no-op)."""
+        triggered = getattr(self.core.hooks, "triggered", None)
+        if triggered is None:
+            raise ValueError(
+                f"core {self.spec.core!r} has no injected bugs: build the "
+                "campaign with CampaignSpec(bugs=(bug_id, ...)) so the DUT "
+                "hooks expose a bug-trigger set"
+            )
+        return triggered
+
+    def run_until_bug_triggered(self, bug_id, max_iterations=100_000,
+                                coarse_detection=None):
+        """Iterate until an injected bug's condition fires on the DUT.
+
+        This is the REF-free fast path for Table II: with TurboFuzz's
+        instruction-level lockstep checking, the moment the bug's
+        architecturally-visible condition fires it is flagged; running the
+        REF only doubles the cost.
+
+        ``coarse_detection`` models DifuzzRTL-style checking ("coarse-
+        grained comparisons between the DUT and REF after thousands of
+        instructions", paper Section I): a ``(num, den)`` probability that
+        an end-of-iteration comparison still sees the divergence (register
+        overwrites mask transient differences).  ``None`` = fine-grained.
+        """
+        from repro.fuzzer.lfsr import Lfsr
+
+        triggered = self.bug_trigger_set()
+        injected = getattr(self.core.hooks, "bug_ids", frozenset())
+        if bug_id not in injected:
+            raise ValueError(
+                f"bug {bug_id!r} is not injected in this campaign "
+                f"(injected: {sorted(injected) or '<none>'})"
+            )
+        detection_lfsr = Lfsr(0xDE7EC7 ^ self._detection_seed)
+        for _ in range(max_iterations):
+            self.run_iteration()
+            if bug_id in triggered:
+                if (coarse_detection is not None
+                        and not detection_lfsr.chance(coarse_detection)):
+                    # The end-of-program comparison missed it; keep going.
+                    triggered.discard(bug_id)
+                    continue
+                self.clock.advance_seconds(self.timing.detection_s)
+                self.bus.milestone("bug_triggered", session=self,
+                                   bug_id=bug_id,
+                                   seconds=self.clock.seconds)
+                return self.clock.seconds
+        return None
+
+    # -- reporting -------------------------------------------------------------
+    @property
+    def coverage_total(self):
+        return self.coverage.total_points
+
+    @property
+    def iterations(self):
+        return len(self.history)
+
+    def iteration_rate_hz(self):
+        """Mean iterations per virtual second (the Table I metric)."""
+        if not self.history or self.clock.seconds == 0:
+            return 0.0
+        return len(self.history) / self.clock.seconds
+
+    def executed_per_second(self):
+        if self.clock.seconds == 0:
+            return 0.0
+        return self.total_executed / self.clock.seconds
+
+    def coverage_series(self):
+        """(virtual_seconds, coverage_total) pairs for plotting."""
+        return [(o.virtual_seconds, o.coverage_total) for o in self.history]
+
+    def history_dicts(self):
+        """The campaign history as plain dicts (JSON export hook)."""
+        return [outcome.to_dict() for outcome in self.history]
+
+
+def build_session(spec, *, bus=None, cache=None):
+    """Resolve a :class:`CampaignSpec` into a ready-to-run session."""
+    return CampaignSession(spec, bus=bus, cache=cache)

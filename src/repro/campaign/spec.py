@@ -1,0 +1,120 @@
+"""Declarative campaign description: one spec == one reproducible campaign.
+
+A :class:`CampaignSpec` names everything by registry key (fuzzer, core,
+timing model) and carries plain-data options, so it round-trips through
+JSON (``to_dict`` / ``from_dict``) and can be stored next to the figure
+data it produced.  Specs are immutable; the fluent ``with_*`` builder
+methods return modified copies, so a grid driver can derive a family of
+shards from one base spec::
+
+    base = CampaignSpec(core="rocket").with_fuzzer("turbofuzz")
+    shards = [base.named(f"tf_{n}").with_options(instructions_per_iteration=n)
+              for n in (1000, 4000)]
+"""
+
+from dataclasses import asdict, dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to construct and replay one campaign."""
+
+    name: str = ""                       # shard / campaign label
+    fuzzer: str = "turbofuzz"            # FUZZERS registry key
+    core: str = "rocket"                 # CORES registry key
+    bugs: tuple = ()                     # injected Table II bug ids
+    rv32a_only: bool = False
+    instrument_style: str = "optimized"  # "optimized" | "legacy"
+    max_state_size: int = 15
+    instrument_seed: int = 0
+    weight_shifts: dict = field(default_factory=dict)  # module -> shift
+    with_ref: bool = False
+    capture_snapshots: bool = False
+    stop_on_trap: object = None          # None -> fuzzer plugin default
+    timing: object = None                # TIMINGS key; None -> plugin default
+    fuzzer_options: dict = field(default_factory=dict)  # config kwargs
+    tweaks: tuple = ()                   # plugin tweak names (allow_ebreak)
+
+    # -- identity ---------------------------------------------------------------
+    @property
+    def label(self):
+        return self.name or f"{self.fuzzer}@{self.core}"
+
+    def instrument_key(self):
+        """Cache key for shared instrumentation: campaigns with equal keys
+        instrument identical netlists identically."""
+        return (self.core, self.instrument_style, self.max_state_size,
+                self.instrument_seed)
+
+    # -- fluent builder ---------------------------------------------------------
+    def named(self, name):
+        return replace(self, name=name)
+
+    def with_fuzzer(self, fuzzer, **options):
+        """Pick the fuzzer; ``options`` merge into the accumulated config
+        options (so an earlier ``with_seed`` survives).  To drop options
+        that do not apply to the new fuzzer, rebuild the spec instead."""
+        merged = dict(self.fuzzer_options)
+        merged.update(options)
+        return replace(self, fuzzer=fuzzer, fuzzer_options=merged)
+
+    def with_options(self, **options):
+        """Merge kwargs into the fuzzer's config options."""
+        merged = dict(self.fuzzer_options)
+        merged.update(options)
+        return replace(self, fuzzer_options=merged)
+
+    def with_core(self, core, bugs=None, rv32a_only=None):
+        spec = replace(self, core=core)
+        if bugs is not None:
+            spec = replace(spec, bugs=tuple(bugs))
+        if rv32a_only is not None:
+            spec = replace(spec, rv32a_only=rv32a_only)
+        return spec
+
+    def with_instrumentation(self, style=None, max_state_size=None,
+                             seed=None):
+        spec = self
+        if style is not None:
+            spec = replace(spec, instrument_style=style)
+        if max_state_size is not None:
+            spec = replace(spec, max_state_size=max_state_size)
+        if seed is not None:
+            spec = replace(spec, instrument_seed=seed)
+        return spec
+
+    def with_timing(self, timing):
+        return replace(self, timing=timing)
+
+    def with_seed(self, seed):
+        """Deterministic campaign seeding (routes to the fuzzer config)."""
+        return self.with_options(seed=seed)
+
+    def with_tweak(self, *names):
+        return replace(self, tweaks=self.tweaks + names)
+
+    def with_checking(self, with_ref=True, capture_snapshots=False):
+        return replace(self, with_ref=with_ref,
+                       capture_snapshots=capture_snapshots)
+
+    # -- JSON round-trip --------------------------------------------------------
+    def to_dict(self):
+        """Plain-data form; ``from_dict(to_dict(s)) == s``."""
+        data = asdict(self)
+        data["bugs"] = list(self.bugs)
+        data["tweaks"] = list(self.tweaks)
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown CampaignSpec keys: {sorted(unknown)}")
+        for key in ("bugs", "tweaks"):
+            if key in data:
+                data[key] = tuple(data[key])
+        for key in ("weight_shifts", "fuzzer_options"):
+            if key in data:
+                data[key] = dict(data[key])
+        return cls(**data)

@@ -44,8 +44,8 @@ class Stage1Report:
 
 
 class DeepExplore:
-    """Drives a :class:`~repro.harness.session.FuzzSession` through the
-    hybrid schedule."""
+    """Drives a :class:`~repro.campaign.session.CampaignSession` (or the
+    legacy ``FuzzSession`` shim) through the hybrid schedule."""
 
     def __init__(self, session, config=None):
         self.session = session
@@ -150,7 +150,7 @@ class DeepExplore:
                 iteration.assemble()
                 result = session.runner.run(iteration)
                 session.clock.advance_seconds(
-                    session.config.timing.iteration_seconds(
+                    session.timing.iteration_seconds(
                         generated=iteration.total_instructions,
                         executed=result.executed_instructions,
                         dut_cycles=result.cycles,

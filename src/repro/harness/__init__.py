@@ -6,7 +6,8 @@
 * :mod:`repro.harness.runner` — DUT(/REF lockstep) iteration execution
 * :mod:`repro.harness.checker` — ENCORE-style instruction-level checking
 * :mod:`repro.harness.snapshot` — hardware snapshot capture/restore
-* :mod:`repro.harness.session` — a fuzzing campaign with time accounting
+* :mod:`repro.harness.session` — legacy session shim over
+  :mod:`repro.campaign` (the campaign layer proper)
 """
 
 from repro.harness.clock import VirtualClock
@@ -14,7 +15,6 @@ from repro.harness.image import ProgramImage, build_image
 from repro.harness.checker import DifferentialChecker, Mismatch
 from repro.harness.snapshot import HardwareSnapshot
 from repro.harness.runner import IterationRunner, RunResult
-from repro.harness.session import FuzzSession, SessionConfig
 
 __all__ = [
     "VirtualClock",
@@ -27,4 +27,18 @@ __all__ = [
     "RunResult",
     "FuzzSession",
     "SessionConfig",
+    "IterationOutcome",
 ]
+
+_SESSION_EXPORTS = ("FuzzSession", "SessionConfig", "IterationOutcome")
+
+
+def __getattr__(name):
+    # Imported lazily: repro.harness.session sits on top of repro.campaign,
+    # which itself imports harness submodules — a module-level import here
+    # would close an import cycle when repro.campaign is imported first.
+    if name in _SESSION_EXPORTS:
+        from repro.harness import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module 'repro.harness' has no attribute {name!r}")

@@ -5,6 +5,13 @@ of the numbers the corresponding figure/table plots, so the benchmark
 harness can print paper-shaped rows and the tests can assert the shape
 (who wins, by roughly what factor, where crossovers fall).
 
+All drivers construct their campaigns declaratively through
+:class:`~repro.campaign.CampaignSpec` and the fuzzer/core/timing
+registries; grid-shaped experiments (Fig. 7/8/9/11, Table I) run their
+shards through a :class:`~repro.campaign.CampaignOrchestrator` with a
+shared instrumentation cache, so identical netlists are instrumented once
+per grid instead of once per shard.
+
 Scale note: the paper's campaigns run for hours of FPGA time; these drivers
 take iteration budgets so benchmark runs complete in seconds-to-minutes of
 host time while exercising identical code paths.  EXPERIMENTS.md records
@@ -13,97 +20,81 @@ the paper-vs-measured values.
 
 import math
 
-from repro.baselines import CascadeFuzzer, DifuzzRtlFuzzer
+from repro.campaign import (
+    CampaignOrchestrator,
+    CampaignSpec,
+    FUZZERS,
+    InstrumentationCache,
+    build_session,
+)
 from repro.coverage import design_reachability, instrument_design
 from repro.deepexplore import DeepExplore, DeepExploreConfig
-from repro.dut import BUGS_BY_ID, RocketCore, make_core
+from repro.dut import BUGS_BY_ID, make_core
 from repro.fpga import table3_report
-from repro.fuzzer import TurboFuzzConfig, TurboFuzzer
-from repro.harness.session import FuzzSession, SessionConfig
-from repro.harness.timing import (
-    CASCADE_TIMING,
-    DIFUZZRTL_FPGA_TIMING,
-    TURBOFUZZ_TIMING,
-)
 from repro.isa.decoder import try_decode
 from repro.isa.instructions import Category
 from repro.workloads import all_workloads
 
 
-def make_session(fuzzer_name, instructions_per_iteration=None, core="rocket",
-                 bugs=(), rv32a_only=False, instrument_style="optimized",
-                 max_state_size=15, corpus_policy="coverage",
-                 corpus_capacity=None, seed=None,
-                 with_ref=False, allow_ebreak=False):
-    """Session factory used by all experiments (one place to wire the
-    fuzzer/timing/instrumentation combinations)."""
-    if fuzzer_name == "turbofuzz":
-        fuzzer_config = TurboFuzzConfig(
-            corpus_policy=corpus_policy,
-            **({"instructions_per_iteration": instructions_per_iteration}
-               if instructions_per_iteration else {}),
-            **({"corpus_capacity": corpus_capacity}
-               if corpus_capacity is not None else {}),
-            **({"seed": seed} if seed is not None else {}),
-        )
-        config = SessionConfig(
-            core=core, bugs=tuple(bugs), rv32a_only=rv32a_only,
-            instrument_style=instrument_style, max_state_size=max_state_size,
-            with_ref=with_ref, fuzzer_config=fuzzer_config,
-            timing=TURBOFUZZ_TIMING,
-        )
-        session = FuzzSession(config)
-        if allow_ebreak:
-            session.fuzzer.direct.category_weights[Category.SYSTEM] = 1
-        return session
-    if fuzzer_name == "difuzzrtl":
-        from repro.baselines.difuzzrtl import DifuzzRtlConfig
+def campaign_spec(fuzzer_name, instructions_per_iteration=None,
+                  core="rocket", bugs=(), rv32a_only=False,
+                  instrument_style="optimized", max_state_size=15,
+                  corpus_policy="coverage", corpus_capacity=None, seed=None,
+                  with_ref=False, allow_ebreak=False):
+    """One spec from the knobs the experiments vary.
 
-        fz_config = DifuzzRtlConfig(
-            **({"instructions_per_iteration": instructions_per_iteration}
-               if instructions_per_iteration else {}),
-            **({"seed": seed} if seed is not None else {}),
-        )
-        fuzzer = DifuzzRtlFuzzer(fz_config)
-        if allow_ebreak:
-            fuzzer._weights[Category.SYSTEM] = 1
-        config = SessionConfig(
-            core=core, bugs=tuple(bugs), rv32a_only=rv32a_only,
-            instrument_style=instrument_style, max_state_size=max_state_size,
-            with_ref=with_ref, timing=DIFUZZRTL_FPGA_TIMING,
-            stop_on_trap=True,
-        )
-        return FuzzSession(config, fuzzer=fuzzer)
-    if fuzzer_name == "cascade":
-        from repro.baselines.cascade import CascadeConfig
+    Fuzzer options are filtered against the registered config class, so a
+    knob a fuzzer does not expose (e.g. ``corpus_policy`` for Cascade,
+    which has no corpus) is dropped rather than wired through per-fuzzer
+    branches.
+    """
+    options = {"corpus_policy": corpus_policy}
+    if instructions_per_iteration:
+        options["instructions_per_iteration"] = instructions_per_iteration
+    if corpus_capacity is not None:
+        options["corpus_capacity"] = corpus_capacity
+    if seed is not None:
+        options["seed"] = seed
+    fields = FUZZERS.get(fuzzer_name).config_class.__dataclass_fields__
+    spec = CampaignSpec(
+        fuzzer=fuzzer_name,
+        core=core,
+        bugs=tuple(bugs),
+        rv32a_only=rv32a_only,
+        instrument_style=instrument_style,
+        max_state_size=max_state_size,
+        with_ref=with_ref,
+        fuzzer_options={key: value for key, value in options.items()
+                        if key in fields},
+    )
+    if allow_ebreak:
+        spec = spec.with_tweak("allow_ebreak")
+    return spec
 
-        fz_config = CascadeConfig(
-            **({"instructions_per_iteration": instructions_per_iteration}
-               if instructions_per_iteration else {}),
-            **({"seed": seed} if seed is not None else {}),
-        )
-        config = SessionConfig(
-            core=core, bugs=tuple(bugs), rv32a_only=rv32a_only,
-            instrument_style=instrument_style, max_state_size=max_state_size,
-            with_ref=with_ref, timing=CASCADE_TIMING,
-        )
-        return FuzzSession(config, fuzzer=CascadeFuzzer(fz_config))
-    raise ValueError(f"unknown fuzzer {fuzzer_name!r}")
+
+def make_session(fuzzer_name, **kwargs):
+    """Legacy session factory: resolve a spec through the registries."""
+    return build_session(campaign_spec(fuzzer_name, **kwargs))
 
 
 # ---------------------------------------------------------------------------
 # Fig. 4 — proportion of executable instructions (DifuzzRTL-style streams)
 # ---------------------------------------------------------------------------
 def fig4_executable_proportion(iterations=20):
-    """Instruction-type histogram: generated vs executed vs control flow."""
-    session = make_session("difuzzrtl")
+    """Instruction-type histogram: generated vs executed vs control flow.
+
+    The per-iteration tallies ride on the session's ``iteration`` event, so
+    the campaign runs through the exact session path every other driver
+    uses — including the weighted feedback scalar — instead of a hand-run
+    generate/run/feedback loop.
+    """
+    session = build_session(campaign_spec("difuzzrtl"))
     generated = {}
     executed = {}
-    executed_cf = 0
-    executed_total = 0
-    generated_total = 0
-    for _ in range(iterations):
-        iteration = session.fuzzer.generate_iteration()
+    totals = {"generated": 0, "executed": 0}
+
+    @session.bus.on_iteration
+    def _tally(session, iteration, result, outcome):
         for block in iteration.blocks:
             for entry in block.entries:
                 decoded = try_decode(entry.word)
@@ -111,14 +102,16 @@ def fig4_executable_proportion(iterations=20):
                     continue
                 key = decoded.spec.category.value
                 generated[key] = generated.get(key, 0) + 1
-                generated_total += 1
+                totals["generated"] += 1
         # Setup routines are generated instructions too, and they always
         # complete execution (they precede the first wild jump/fault).
         setup_count = len(iteration.setup_words)
-        generated_total += setup_count
-        result = session.runner.run(iteration)
-        executed_total += result.executed_fuzzing + setup_count
-        session.fuzzer.feedback(iteration, result.new_coverage)
+        totals["generated"] += setup_count
+        totals["executed"] += result.executed_fuzzing + setup_count
+
+    session.run_iterations(iterations)
+    executed_total = totals["executed"]
+    generated_total = totals["generated"]
     # Category attribution of executed instructions: re-run one iteration
     # with a recording hook for the histogram.
     iteration = session.fuzzer.generate_iteration()
@@ -129,6 +122,7 @@ def fig4_executable_proportion(iterations=20):
     core.reset_pc = image.layout.reset
     core.reset()
     image.install(core.memory)
+    executed_cf = 0
     for _ in range(4 * iteration.total_instructions):
         record = core.step()
         if record.pc >= iteration.fuzz_base and record.word:
@@ -185,16 +179,21 @@ def fig7_instrumentation_gain(iterations=40, fuzzers=("difuzzrtl", "cascade",
                                                       "turbofuzz"),
                               instructions_per_iteration=None):
     """Max coverage under legacy vs optimized instrumentation, per fuzzer."""
+    styles = ("legacy", "optimized")
+    orchestrator = CampaignOrchestrator([
+        campaign_spec(
+            fuzzer_name, instrument_style=style,
+            instructions_per_iteration=instructions_per_iteration,
+        ).named(f"{fuzzer_name}:{style}")
+        for fuzzer_name in fuzzers for style in styles
+    ])
+    orchestrator.run_iterations(iterations)
     results = {}
     for fuzzer_name in fuzzers:
-        per_style = {}
-        for style in ("legacy", "optimized"):
-            session = make_session(
-                fuzzer_name, instrument_style=style,
-                instructions_per_iteration=instructions_per_iteration,
-            )
-            session.run_iterations(iterations)
-            per_style[style] = session.coverage_total
+        per_style = {
+            style: orchestrator[f"{fuzzer_name}:{style}"].coverage_total
+            for style in styles
+        }
         per_style["gain"] = (
             per_style["optimized"] / per_style["legacy"]
             if per_style["legacy"] else math.inf
@@ -208,21 +207,19 @@ def fig7_instrumentation_gain(iterations=40, fuzzers=("difuzzrtl", "cascade",
 # ---------------------------------------------------------------------------
 def fig8_prevalence(iterations=15, turbofuzz_sizes=(1000, 4000)):
     """Prevalence per fuzzer (and per iteration size for TurboFuzz)."""
-    out = {}
-    session = make_session("difuzzrtl")
-    session.run_iterations(iterations)
-    prevalences = [h.prevalence for h in session.history]
-    out["difuzzrtl"] = _prevalence_stats(prevalences)
-    session = make_session("cascade")
-    session.run_iterations(iterations)
-    out["cascade"] = _prevalence_stats([h.prevalence for h in session.history])
-    for size in turbofuzz_sizes:
-        session = make_session("turbofuzz", instructions_per_iteration=size)
-        session.run_iterations(iterations)
-        out[f"turbofuzz_{size}"] = _prevalence_stats(
-            [h.prevalence for h in session.history]
-        )
-    return out
+    specs = [campaign_spec("difuzzrtl").named("difuzzrtl"),
+             campaign_spec("cascade").named("cascade")]
+    specs += [
+        campaign_spec("turbofuzz", instructions_per_iteration=size)
+        .named(f"turbofuzz_{size}")
+        for size in turbofuzz_sizes
+    ]
+    orchestrator = CampaignOrchestrator(specs)
+    orchestrator.run_iterations(iterations)
+    return {
+        label: _prevalence_stats([h.prevalence for h in session.history])
+        for label, session in orchestrator
+    }
 
 
 def _prevalence_stats(values):
@@ -245,17 +242,18 @@ def fig9_corpus_scheduling(iterations=200, instructions_per_iteration=1000,
     policies differ) appears within the scaled-down iteration budget; the
     paper's hour-long campaigns reach that regime by sheer volume.
     """
-    series = {}
-    finals = {}
-    for policy in ("coverage", "fifo"):
-        session = make_session(
+    orchestrator = CampaignOrchestrator([
+        campaign_spec(
             "turbofuzz", corpus_policy=policy, seed=seed,
             corpus_capacity=corpus_capacity, max_state_size=max_state_size,
             instructions_per_iteration=instructions_per_iteration,
-        )
-        session.run_iterations(iterations)
-        series[policy] = session.coverage_series()
-        finals[policy] = session.coverage_total
+        ).named(policy)
+        for policy in ("coverage", "fifo")
+    ])
+    orchestrator.run_iterations(iterations)
+    series = orchestrator.coverage_series()
+    finals = {label: session.coverage_total
+              for label, session in orchestrator}
     improvement = finals["coverage"] / finals["fifo"] - 1.0
     # Time-to-target speedup: target = what FIFO ends at.
     target = finals["fifo"]
@@ -289,18 +287,19 @@ def _time_to_target_ratio(baseline_series, improved_series, target):
 def fig10_deepexplore(fuzz_iterations=100, instructions_per_iteration=1000,
                       workload_scale=1, profile_cap=40_000):
     """deepExplore vs pure fuzzing vs benchmark-only execution."""
-    # Pure fuzzing.
-    fuzz_session = make_session(
+    spec = campaign_spec(
         "turbofuzz", instructions_per_iteration=instructions_per_iteration
     )
+    cache = InstrumentationCache()
+
+    # Pure fuzzing.
+    fuzz_session = build_session(spec, cache=cache)
     fuzz_session.run_iterations(fuzz_iterations)
     fuzz_series = fuzz_session.coverage_series()
     budget = fuzz_session.clock.seconds
 
     # deepExplore: stage 1 + refinement + stage 2 within the same budget.
-    de_session = make_session(
-        "turbofuzz", instructions_per_iteration=instructions_per_iteration
-    )
+    de_session = build_session(spec, cache=cache)
     explorer = DeepExplore(
         de_session,
         # Refinement is capped so stage 1 stays a small fraction of the
@@ -315,7 +314,7 @@ def fig10_deepexplore(fuzz_iterations=100, instructions_per_iteration=1000,
     de_series = [(stage1_end, stage1_cov)] + de_session.coverage_series()
 
     # Benchmark-only execution: loop the workloads on the DUT.
-    bench_session = make_session("turbofuzz")
+    bench_session = build_session(campaign_spec("turbofuzz"), cache=cache)
     bench_explorer = DeepExplore(
         bench_session, DeepExploreConfig(profile_cap=profile_cap)
     )
@@ -380,31 +379,27 @@ def fig11_convergence(budget_seconds=4.0, checkpoints=(1.0, 2.0, 4.0),
     ``budget_seconds``/``checkpoints`` are virtual seconds; the paper uses
     1/2/4 hours — the scaled axis preserves the saturation shape because
     every fuzzer pays its own per-iteration time model.
-    """
-    sessions = {
-        "turbofuzz_4000": make_session("turbofuzz",
-                                       instructions_per_iteration=4000),
-        "turbofuzz_1000": make_session("turbofuzz",
-                                       instructions_per_iteration=1000),
-        "cascade": make_session("cascade"),
-        "difuzzrtl": make_session("difuzzrtl"),
-    }
-    series = {}
-    for name, session in sessions.items():
-        session.run_for_virtual_time(budget_seconds,
-                                     max_iterations=max_iterations)
-        series[name] = session.coverage_series()
 
-    def coverage_at(name, seconds):
-        best = 0
-        for time_point, points in series[name]:
-            if time_point <= seconds:
-                best = points
-        return best
+    The four shards share one instrumentation cache: the three Rocket
+    campaigns with identical instrumentation reuse a single layout
+    computation.
+    """
+    orchestrator = CampaignOrchestrator([
+        campaign_spec("turbofuzz",
+                      instructions_per_iteration=4000).named("turbofuzz_4000"),
+        campaign_spec("turbofuzz",
+                      instructions_per_iteration=1000).named("turbofuzz_1000"),
+        campaign_spec("cascade").named("cascade"),
+        campaign_spec("difuzzrtl").named("difuzzrtl"),
+    ])
+    orchestrator.run_for_virtual_time(budget_seconds,
+                                      max_iterations=max_iterations)
+    series = orchestrator.coverage_series()
 
     table = {}
     for checkpoint in checkpoints:
-        row = {name: coverage_at(name, checkpoint) for name in sessions}
+        row = {name: orchestrator.coverage_at(name, checkpoint)
+               for name in orchestrator.labels}
         row["tf_vs_cascade"] = (
             row["turbofuzz_4000"] / row["cascade"] if row["cascade"] else None
         )
@@ -423,6 +418,7 @@ def fig11_convergence(budget_seconds=4.0, checkpoints=(1.0, 2.0, 4.0),
         "checkpoints": table,
         "target_points": target,
         "speedup_vs_cascade_to_target": speedup,
+        "instrumentation_cache": dict(orchestrator.cache.stats),
     }
 
 
@@ -431,19 +427,20 @@ def fig11_convergence(budget_seconds=4.0, checkpoints=(1.0, 2.0, 4.0),
 # ---------------------------------------------------------------------------
 def table1_fuzzing_speed(iterations=12):
     """Iteration rate (Hz) and executed instructions per second."""
-    rows = {}
-    for name, kwargs in (
-        ("difuzzrtl", {}),
-        ("cascade", {}),
-        ("turbofuzz", {"instructions_per_iteration": 4000}),
-    ):
-        session = make_session(name, **kwargs)
-        session.run_iterations(iterations)
-        rows[name] = {
+    orchestrator = CampaignOrchestrator([
+        campaign_spec("difuzzrtl").named("difuzzrtl"),
+        campaign_spec("cascade").named("cascade"),
+        campaign_spec("turbofuzz",
+                      instructions_per_iteration=4000).named("turbofuzz"),
+    ])
+    orchestrator.run_iterations(iterations)
+    return {
+        label: {
             "fuzzing_speed_hz": session.iteration_rate_hz(),
             "executed_per_second": session.executed_per_second(),
         }
-    return rows
+        for label, session in orchestrator
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -454,23 +451,24 @@ def table2_bug_detection(bug_ids=None, hw_max_iterations=400,
     """Time-to-trigger for TurboFuzz (HW) vs DifuzzRTL (SW), per bug."""
     if bug_ids is None:
         bug_ids = sorted(BUGS_BY_ID)
+    cache = InstrumentationCache()
     rows = {}
     for bug_id in bug_ids:
         bug = BUGS_BY_ID[bug_id]
         rv32a_only = bug_id == "C8"
         allow_ebreak = bug_id == "R1"
-        hw_session = make_session(
+        hw_session = build_session(campaign_spec(
             "turbofuzz", core=bug.core, bugs=(bug_id,),
             rv32a_only=rv32a_only, seed=seed, allow_ebreak=allow_ebreak,
             instructions_per_iteration=1000,
-        )
+        ), cache=cache)
         hw_time = hw_session.run_until_bug_triggered(
             bug_id, max_iterations=hw_max_iterations
         )
-        sw_session = make_session(
+        sw_session = build_session(campaign_spec(
             "difuzzrtl", core=bug.core, bugs=(bug_id,),
             rv32a_only=rv32a_only, seed=seed, allow_ebreak=allow_ebreak,
-        )
+        ), cache=cache)
         # DifuzzRTL's end-of-program comparison masks transient
         # divergences; half the triggering iterations surface the bug.
         sw_time = sw_session.run_until_bug_triggered(

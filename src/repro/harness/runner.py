@@ -32,6 +32,21 @@ class RunResult:
             return 0.0
         return self.executed_fuzzing / self.executed_instructions
 
+    def to_dict(self):
+        """Plain-data form for JSON export (Fig./Table persistence)."""
+        return {
+            "executed_instructions": self.executed_instructions,
+            "executed_fuzzing": self.executed_fuzzing,
+            "executed_template": self.executed_template,
+            "cycles": self.cycles,
+            "new_coverage": self.new_coverage,
+            "completed": self.completed,
+            "prevalence": self.prevalence,
+            "traps": self.traps,
+            "mismatch": (self.mismatch.describe()
+                         if self.mismatch is not None else None),
+        }
+
 
 class IterationRunner:
     """Runs assembled iterations on a DUT core (optionally vs a REF)."""

@@ -1,25 +1,33 @@
-"""Fuzzing sessions: a complete campaign with virtual-time accounting.
+"""Legacy fuzzing-session entry point (compatibility shim).
 
-A session wires together a DUT core (with optional injected bugs), coverage
-instrumentation, a fuzzer (TurboFuzzer or one of the baselines — anything
-with ``generate_iteration()`` / ``feedback()``), the iteration runner, and
-a per-iteration timing model.  Experiments drive sessions by virtual-time
-budget, coverage target, or bug trigger.
+The campaign machinery lives in :mod:`repro.campaign` now:
+:class:`~repro.campaign.session.CampaignSession` runs the loop,
+:class:`~repro.campaign.spec.CampaignSpec` describes a campaign
+declaratively, and the registries resolve fuzzers/cores/timing models.
+:class:`FuzzSession` remains as a thin shim so existing callers keep
+working: it translates a :class:`SessionConfig` (which carries *resolved*
+objects — a fuzzer config instance, a timing model, a weights object)
+into a spec plus construction overrides.
 """
 
 from dataclasses import dataclass, field
 
-from repro.coverage import FeedbackWeights, instrument_design
-from repro.dut import make_core
-from repro.fuzzer import TurboFuzzConfig, TurboFuzzer
-from repro.harness.clock import VirtualClock
-from repro.harness.runner import IterationRunner
+from repro.campaign.session import CampaignSession, IterationOutcome
+from repro.campaign.spec import CampaignSpec
+from repro.fuzzer import TurboFuzzConfig
 from repro.harness.timing import TURBOFUZZ_TIMING
+
+__all__ = ["SessionConfig", "IterationOutcome", "FuzzSession"]
 
 
 @dataclass
 class SessionConfig:
-    """Everything needed to reproduce one campaign."""
+    """Everything needed to reproduce one campaign (legacy form).
+
+    New code should prefer :class:`~repro.campaign.spec.CampaignSpec`,
+    which is declarative and JSON-round-trippable; this config carries
+    live objects instead.
+    """
 
     core: str = "rocket"
     bugs: tuple = ()
@@ -35,172 +43,35 @@ class SessionConfig:
     timing: object = TURBOFUZZ_TIMING
 
 
-@dataclass
-class IterationOutcome:
-    """One point of a campaign's history."""
+class FuzzSession(CampaignSession):
+    """A fuzzing campaign bound to one DUT and one fuzzer (legacy API).
 
-    index: int
-    virtual_seconds: float
-    coverage_total: int
-    new_coverage: int
-    executed_instructions: int
-    prevalence: float
-    mismatch: object = None
-
-
-class FuzzSession:
-    """A fuzzing campaign bound to one DUT and one fuzzer."""
+    ``FuzzSession(config)`` builds a TurboFuzz campaign from the config's
+    ``fuzzer_config``; passing ``fuzzer`` installs a prebuilt fuzzer
+    instance (the baselines) while the rest of the config still applies.
+    """
 
     def __init__(self, config=None, fuzzer=None):
-        self.config = config or SessionConfig()
-        cfg = self.config
-        self.core = make_core(cfg.core, bugs=cfg.bugs, rv32a_only=cfg.rv32a_only)
-        self.coverage = instrument_design(
-            self.core.top,
-            style=cfg.instrument_style,
-            max_state_size=cfg.max_state_size,
-            seed=cfg.instrument_seed,
-            weights=cfg.weights or FeedbackWeights(),
+        config = config or SessionConfig()
+        spec = CampaignSpec(
+            fuzzer="turbofuzz" if fuzzer is None else getattr(
+                fuzzer, "name", "turbofuzz"),
+            core=config.core,
+            bugs=tuple(config.bugs),
+            rv32a_only=config.rv32a_only,
+            instrument_style=config.instrument_style,
+            max_state_size=config.max_state_size,
+            instrument_seed=config.instrument_seed,
+            with_ref=config.with_ref,
+            capture_snapshots=config.capture_snapshots,
+            stop_on_trap=config.stop_on_trap,
         )
-        self.core.attach_coverage(self.coverage)
-        self.fuzzer = fuzzer or TurboFuzzer(cfg.fuzzer_config)
-        self.runner = IterationRunner(
-            self.core,
-            with_ref=cfg.with_ref,
-            capture_snapshots=cfg.capture_snapshots,
-            stop_on_trap=cfg.stop_on_trap,
+        super().__init__(
+            spec,
+            fuzzer=fuzzer,
+            fuzzer_config=config.fuzzer_config if fuzzer is None else None,
+            timing=config.timing,
+            weights=config.weights,
+            detection_seed=config.fuzzer_config.seed,
         )
-        self.clock = VirtualClock(self.core.default_frequency_hz)
-        self.history = []
-        self.total_executed = 0
-        self.total_generated = 0
-
-    # -- one iteration ---------------------------------------------------------
-    def run_iteration(self):
-        """Generate, execute, feed back, account time; returns the outcome."""
-        iteration = self.fuzzer.generate_iteration()
-        before = self.coverage.counts_by_module()
-        result = self.runner.run(iteration)
-        after = self.coverage.counts_by_module()
-        # The fuzzer's feedback scalar is the *weighted* N_cov increment
-        # (the auxiliary-shift mechanism of Section VI); the raw increment
-        # is what the experiment reports.
-        weighted_increment = self.coverage.weights.weighted_total(
-            {name: after[name] - before.get(name, 0) for name in after}
-        )
-        self.fuzzer.feedback(iteration, weighted_increment)
-        self.clock.advance_seconds(
-            self.config.timing.iteration_seconds(
-                generated=iteration.total_instructions,
-                executed=result.executed_instructions,
-                dut_cycles=result.cycles,
-                frequency_hz=self.core.default_frequency_hz,
-            )
-        )
-        self.total_executed += result.executed_instructions
-        self.total_generated += iteration.total_instructions
-        outcome = IterationOutcome(
-            index=len(self.history),
-            virtual_seconds=self.clock.seconds,
-            coverage_total=self.coverage.total_points,
-            new_coverage=result.new_coverage,
-            executed_instructions=result.executed_instructions,
-            prevalence=result.prevalence,
-            mismatch=result.mismatch,
-        )
-        self.history.append(outcome)
-        return outcome
-
-    # -- campaign drivers -----------------------------------------------------------
-    def run_for_virtual_time(self, virtual_seconds, max_iterations=None):
-        """Iterate until the virtual clock passes the budget."""
-        while self.clock.seconds < virtual_seconds:
-            if max_iterations is not None and len(self.history) >= max_iterations:
-                break
-            self.run_iteration()
-        return self.history
-
-    def run_iterations(self, count):
-        """Run a fixed number of iterations."""
-        for _ in range(count):
-            self.run_iteration()
-        return self.history
-
-    def run_until_coverage(self, target_points, max_iterations=100_000):
-        """Iterate until total coverage reaches the target; returns the
-        virtual time at which it was reached (None if never)."""
-        for _ in range(max_iterations):
-            outcome = self.run_iteration()
-            if outcome.coverage_total >= target_points:
-                return outcome.virtual_seconds
-        return None
-
-    def run_until_mismatch(self, max_iterations=100_000):
-        """Iterate (with REF checking on) until a mismatch; returns
-        ``(virtual_seconds, mismatch)`` or ``(None, None)``.
-
-        The reported time includes the timing model's detection latency
-        (snapshot capture and readback for TurboFuzz, trace dump for the
-        software fuzzers).
-        """
-        for _ in range(max_iterations):
-            outcome = self.run_iteration()
-            if outcome.mismatch is not None:
-                self.clock.advance_seconds(self.config.timing.detection_s)
-                return self.clock.seconds, outcome.mismatch
-        return None, None
-
-    def run_until_bug_triggered(self, bug_id, max_iterations=100_000,
-                                coarse_detection=None):
-        """Iterate until an injected bug's condition fires on the DUT.
-
-        This is the REF-free fast path for Table II: with TurboFuzz's
-        instruction-level lockstep checking, the moment the bug's
-        architecturally-visible condition fires it is flagged; running the
-        REF only doubles the cost.
-
-        ``coarse_detection`` models DifuzzRTL-style checking ("coarse-
-        grained comparisons between the DUT and REF after thousands of
-        instructions", paper Section I): a ``(num, den)`` probability that
-        an end-of-iteration comparison still sees the divergence (register
-        overwrites mask transient differences).  ``None`` = fine-grained.
-        """
-        from repro.fuzzer.lfsr import Lfsr
-
-        detection_lfsr = Lfsr(0xDE7EC7 ^ self.config.fuzzer_config.seed)
-        triggered = getattr(self.core.hooks, "triggered", set())
-        for _ in range(max_iterations):
-            self.run_iteration()
-            if bug_id in triggered:
-                if (coarse_detection is not None
-                        and not detection_lfsr.chance(coarse_detection)):
-                    # The end-of-program comparison missed it; keep going.
-                    triggered.discard(bug_id)
-                    continue
-                self.clock.advance_seconds(self.config.timing.detection_s)
-                return self.clock.seconds
-        return None
-
-    # -- reporting ---------------------------------------------------------------------
-    @property
-    def coverage_total(self):
-        return self.coverage.total_points
-
-    @property
-    def iterations(self):
-        return len(self.history)
-
-    def iteration_rate_hz(self):
-        """Mean iterations per virtual second (the Table I metric)."""
-        if not self.history or self.clock.seconds == 0:
-            return 0.0
-        return len(self.history) / self.clock.seconds
-
-    def executed_per_second(self):
-        if self.clock.seconds == 0:
-            return 0.0
-        return self.total_executed / self.clock.seconds
-
-    def coverage_series(self):
-        """(virtual_seconds, coverage_total) pairs for plotting."""
-        return [(o.virtual_seconds, o.coverage_total) for o in self.history]
+        self.config = config

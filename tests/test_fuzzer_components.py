@@ -361,3 +361,80 @@ class TestTurboFuzzerTop:
         fuzzer.generate_iteration()
         assert fuzzer.stats.iterations == 1
         assert fuzzer.stats.instructions_generated >= 100
+
+
+class TestCorpusPressure:
+    """Eviction behaviour under sustained capacity pressure (Fig. 9's
+    regime): ordering, re-ranking after mutation feedback, and interval
+    seeds surviving by recorded increment."""
+
+    def _seed(self, increment, origin="direct"):
+        return Seed([InstructionBlock("addi", [StimulusEntry(0x13)])],
+                    coverage_increment=increment, origin=origin)
+
+    def test_fifo_eviction_order_is_insertion_order(self):
+        corpus = Corpus(capacity=3, policy="fifo")
+        seeds = [self._seed(i) for i in (5, 50, 500)]
+        for seed in seeds:
+            corpus.add(seed)
+        evicted = []
+        for increment in (1, 2, 3):
+            newcomer = self._seed(increment)
+            survivors_before = list(corpus.seeds)
+            corpus.add(newcomer)
+            gone = [s for s in survivors_before if s not in corpus.seeds]
+            evicted.extend(gone)
+        # FIFO ignores quality entirely: the original seeds leave in
+        # insertion order, even the 500-increment one.
+        assert evicted == seeds
+        assert corpus.evictions == 3
+
+    def test_coverage_eviction_order_is_increment_order(self):
+        corpus = Corpus(capacity=3, policy="coverage")
+        low, mid, high = (self._seed(i) for i in (10, 20, 30))
+        for seed in (high, low, mid):  # insertion order must not matter
+            corpus.add(seed)
+        assert corpus.add(self._seed(15)) is True   # evicts low (10)
+        assert low not in corpus.seeds
+        assert corpus.add(self._seed(25)) is True   # evicts the 15 newcomer
+        increments = sorted(corpus.increments())
+        assert increments == [20, 25, 30]
+        # Anything at-or-below the current floor bounces.
+        assert corpus.add(self._seed(20)) is False
+        assert corpus.rejected == 1
+
+    def test_update_increment_reranks_victim_choice(self):
+        corpus = Corpus(capacity=2, policy="coverage")
+        stale, fresh = self._seed(90), self._seed(40)
+        corpus.add(stale), corpus.add(fresh)
+        # Mutation-mode feedback demotes the once-great seed...
+        corpus.update_increment(stale, 5)
+        # ...so the next insertion evicts it instead of the 40.
+        assert corpus.add(self._seed(60)) is True
+        assert stale not in corpus.seeds and fresh in corpus.seeds
+
+    def test_interval_seeds_pinned_by_recorded_increment(self):
+        """deepExplore's interval seeds survive capacity pressure exactly
+        as long as their recorded coverage increment keeps them off the
+        eviction floor."""
+        fuzzer = TurboFuzzer(TurboFuzzConfig(corpus_capacity=4))
+        interval = fuzzer.add_interval_seed(
+            [InstructionBlock("addi", [StimulusEntry(0x13)])],
+            coverage_increment=1000,
+        )
+        assert interval in fuzzer.corpus.seeds
+        corpus = fuzzer.corpus
+        for increment in (200, 300, 400, 500, 600, 700):
+            corpus.add(self._seed(increment))
+        assert interval in corpus.seeds  # outranked every direct seed
+        # Once re-ranked below the floor it is evictable like any other.
+        corpus.update_increment(interval, 1)
+        corpus.add(self._seed(650))
+        assert interval not in corpus.seeds
+
+    def test_fifo_evicts_interval_seeds_regardless_of_increment(self):
+        corpus = Corpus(capacity=2, policy="fifo")
+        interval = self._seed(10_000, origin="interval")
+        corpus.add(interval)
+        corpus.add(self._seed(1)), corpus.add(self._seed(2))
+        assert interval not in corpus.seeds
