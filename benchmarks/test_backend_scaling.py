@@ -1,0 +1,58 @@
+"""Execution-backend scaling: serial vs process-pool on one grid.
+
+Not a paper figure: this benchmark guards the backend abstraction — the
+process-pool backend must produce *bit-identical* per-shard reports while
+its wall-clock scales with worker count (on multi-core hosts; on a single
+core the checkpoint round-trips make it strictly slower, which the
+persisted JSON records honestly).
+"""
+
+import os
+import time
+
+from benchmarks.conftest import persist, print_header, scaled
+from repro.campaign import CampaignOrchestrator, CampaignSpec, ProcessPoolBackend
+
+
+def _grid_specs(iterations_size=300):
+    return [
+        CampaignSpec()
+        .with_fuzzer("turbofuzz", instructions_per_iteration=iterations_size,
+                     seed=seed)
+        .named(f"shard{index}")
+        for index, seed in enumerate((0xA11CE, 0xB0B))
+    ]
+
+
+def _timed_run(backend, iterations):
+    orchestrator = CampaignOrchestrator(_grid_specs(), backend=backend)
+    start = time.perf_counter()
+    orchestrator.run_iterations(iterations)
+    elapsed = time.perf_counter() - start
+    return orchestrator, elapsed
+
+
+def test_backend_scaling():
+    iterations = scaled(15, 60)
+    serial, serial_s = _timed_run("serial", iterations)
+    pool, pool_s = _timed_run(ProcessPoolBackend(), iterations)
+
+    assert pool.coverage_series() == serial.coverage_series()
+    assert pool.shard_stats() == serial.shard_stats()
+
+    result = {
+        "shards": len(serial.labels),
+        "iterations_per_shard": iterations,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": serial_s,
+        "process_pool_wall_s": pool_s,
+        "speedup": serial_s / pool_s if pool_s else None,
+        "reports_identical": True,
+        "serial_report": serial.report(),
+    }
+    persist("backend_scaling", result)
+    print_header("Backend scaling: serial vs process-pool (2-shard grid)")
+    print(f"cpu_count={result['cpu_count']}  "
+          f"serial={serial_s:.2f}s  pool={pool_s:.2f}s  "
+          f"speedup={result['speedup']:.2f}x")
+    print("per-shard reports: identical (bit-for-bit)")

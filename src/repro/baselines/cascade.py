@@ -110,5 +110,17 @@ class CascadeFuzzer:
         self.iterations += 1
         return iteration
 
+    # -- checkpoint protocol -----------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot (no corpus: LFSR + counter only)."""
+        return {
+            "lfsr": self.lfsr.state_dict(),
+            "iterations": self.iterations,
+        }
+
+    def load_state(self, state):
+        self.lfsr.load_state(state["lfsr"])
+        self.iterations = int(state["iterations"])
+
     def feedback(self, iteration, coverage_increment):
         """Cascade is not coverage-guided: feedback is discarded."""

@@ -196,7 +196,34 @@ class DifuzzRtlFuzzer:
     # -- feedback ----------------------------------------------------------------
     def feedback(self, iteration, coverage_increment):
         """Coverage-guided, FIFO-evicted corpus insertion."""
+        self._pending = None
         if coverage_increment > 0:
             self.corpus.append([block.clone() for block in iteration.blocks])
             if len(self.corpus) > self.config.corpus_capacity:
                 self.corpus.pop(0)  # FIFO: oldest seed goes first
+
+    # -- checkpoint protocol -----------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot (LFSR + FIFO corpus + counter)."""
+        if self._pending is not None:
+            raise ValueError(
+                "cannot checkpoint mid-iteration: feedback() has not been "
+                "called for the last generated iteration"
+            )
+        return {
+            "lfsr": self.lfsr.state_dict(),
+            "corpus": [[block.state_dict() for block in blocks]
+                       for blocks in self.corpus],
+            "iterations": self.iterations,
+        }
+
+    def load_state(self, state):
+        from repro.fuzzer.blocks import InstructionBlock
+
+        self.lfsr.load_state(state["lfsr"])
+        self.corpus = [
+            [InstructionBlock.from_state(block) for block in blocks]
+            for blocks in state["corpus"]
+        ]
+        self.iterations = int(state["iterations"])
+        self._pending = None

@@ -1,0 +1,233 @@
+"""Pluggable execution backends: how an orchestrator advances its shards.
+
+PR 1's orchestrator advanced every shard inline, single-threaded.  The
+scheduling *policy* (batched round-robin on a shared virtual-time axis)
+is unchanged, but the *mechanism* is now a backend behind the
+:data:`BACKENDS` registry:
+
+* :class:`SerialBackend` — the extracted in-process loops, behaviour
+  identical to PR 1 bit for bit;
+* :class:`ProcessPoolBackend` — ships each shard to a worker process as a
+  :class:`~repro.campaign.checkpoint.CampaignCheckpoint`, runs the time
+  slice remotely, and merges the returned checkpoints back into the
+  orchestrator's sessions in deterministic label order at each slice
+  frontier.  Shards share no mutable state, so per-shard results match
+  the serial backend bit for bit; only wall-clock changes.
+
+Per-iteration events happen wherever the iteration runs: with the pool
+backend they fire on the worker's private bus and are *not* forwarded to
+the orchestrator's bus — subscribers there still see the orchestration
+milestones (``time_slice``, ``shard_done``).  Custom fuzzers/cores/
+instrumentations registered by the parent are visible to workers on
+fork-capable platforms (Linux); on spawn-only platforms workers know the
+built-ins plus whatever registers at import time.
+"""
+
+import os
+
+from repro.campaign.checkpoint import CampaignCheckpoint
+from repro.registry import Registry
+
+BACKENDS = Registry("execution backend")
+
+
+def register_backend(name, backend_class=None, replace=False):
+    """Register an :class:`ExecutionBackend` class; usable directly or as
+    a class decorator."""
+    return BACKENDS.register(name, backend_class, replace=replace)
+
+
+def resolve_backend(backend):
+    """Normalize ``backend`` (None / name / class / instance) to an instance."""
+    if backend is None:
+        backend = "serial"
+    if isinstance(backend, str):
+        backend = BACKENDS.get(backend)
+    if isinstance(backend, type):
+        backend = backend()
+    return backend
+
+
+class ExecutionBackend:
+    """How shards advance.  Backends receive the orchestrator and drive its
+    sessions; they must preserve the invariant that each shard's results
+    are identical to running that session alone for the same budget."""
+
+    name = "base"
+
+    def run_for_virtual_time(self, orchestrator, budget_seconds,
+                             max_iterations=None, slices=8):
+        raise NotImplementedError
+
+    def run_iterations(self, orchestrator, count, batch=16):
+        raise NotImplementedError
+
+
+def _slice_frontiers(budget_seconds, slices):
+    """The shared virtual-time frontiers; the last one is exactly the
+    budget (no floating-point shortfall on the final slice)."""
+    slices = max(1, int(slices))
+    return [
+        budget_seconds if step == slices else budget_seconds * step / slices
+        for step in range(1, slices + 1)
+    ]
+
+
+@register_backend("serial")
+class SerialBackend(ExecutionBackend):
+    """In-process batched round-robin (PR 1's inline loops, extracted)."""
+
+    name = "serial"
+
+    def run_for_virtual_time(self, orchestrator, budget_seconds,
+                             max_iterations=None, slices=8):
+        frontiers = _slice_frontiers(budget_seconds, slices)
+        for step, frontier in enumerate(frontiers, start=1):
+            for label, session in orchestrator.sessions.items():
+                session.run_for_virtual_time(frontier,
+                                             max_iterations=max_iterations)
+            orchestrator.bus.milestone(
+                "time_slice", orchestrator=orchestrator, frontier=frontier,
+                step=step, slices=len(frontiers))
+        for label, session in orchestrator.sessions.items():
+            orchestrator.bus.milestone("shard_done", orchestrator=orchestrator,
+                                       shard=label, session=session)
+
+    def run_iterations(self, orchestrator, count, batch=16):
+        remaining = {label: count for label in orchestrator.sessions}
+        while any(remaining.values()):
+            for label, session in orchestrator.sessions.items():
+                for _ in range(min(batch, remaining[label])):
+                    session.run_iteration()
+                    remaining[label] -= 1
+        for label, session in orchestrator.sessions.items():
+            orchestrator.bus.milestone("shard_done", orchestrator=orchestrator,
+                                       shard=label, session=session)
+
+
+# ---------------------------------------------------------------------------
+# Process-pool backend
+# ---------------------------------------------------------------------------
+# One instrumentation cache per worker process: checkpoints restored for
+# successive time slices of the same grid rebuild identical layouts, and
+# layouts are read-only after construction (the same sharing property the
+# orchestrator's own cache relies on).
+_worker_cache = None
+
+
+def _advance_shard(payload):
+    """Worker entry point: checkpoint in, advanced checkpoint out.
+
+    Runs in a separate process; everything crossing the boundary is plain
+    JSON-shaped data, so results cannot depend on pickling object graphs.
+    """
+    global _worker_cache
+    if _worker_cache is None:
+        from repro.campaign.cache import InstrumentationCache
+
+        _worker_cache = InstrumentationCache()
+    checkpoint = CampaignCheckpoint.from_dict(payload["checkpoint"])
+    session = checkpoint.restore(cache=_worker_cache)
+    command = payload["command"]
+    if command == "run_for_virtual_time":
+        session.run_for_virtual_time(payload["frontier"],
+                                     max_iterations=payload["max_iterations"])
+    elif command == "run_iterations":
+        session.run_iterations(payload["count"])
+    else:
+        raise ValueError(f"unknown shard command {command!r}")
+    return CampaignCheckpoint.capture(session).to_dict()
+
+
+@register_backend("process-pool")
+class ProcessPoolBackend(ExecutionBackend):
+    """Advance shards in worker processes, merging at slice frontiers.
+
+    Each shard travels as a ``(spec, state)`` checkpoint; the worker
+    restores it, runs the slice, and returns the advanced checkpoint.
+    Results are merged back into the orchestrator's sessions in label
+    order, so reports, coverage series, and bus-milestone ordering are
+    deterministic regardless of worker completion order.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, processes=None, mp_context=None):
+        self.processes = processes
+        self._mp_context = mp_context
+
+    def _make_pool(self, shard_count):
+        from concurrent.futures import ProcessPoolExecutor
+
+        context = self._mp_context
+        if context is None:
+            import multiprocessing
+
+            # Prefer fork where available: workers inherit third-party
+            # registry entries (custom fuzzers/cores/instrumentations).
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+        workers = self.processes or min(shard_count,
+                                        max(1, os.cpu_count() or 1))
+        return ProcessPoolExecutor(max_workers=max(1, workers),
+                                   mp_context=context)
+
+    def _dispatch_and_merge(self, orchestrator, pool, payloads):
+        """Submit one payload per shard; merge results in label order."""
+        futures = {
+            label: pool.submit(_advance_shard, payload)
+            for label, payload in payloads.items()
+        }
+        for label in orchestrator.labels:
+            future = futures.get(label)
+            if future is None:
+                continue
+            advanced = CampaignCheckpoint.from_dict(future.result())
+            orchestrator.sessions[label].load_state(advanced.state)
+
+    def run_for_virtual_time(self, orchestrator, budget_seconds,
+                             max_iterations=None, slices=8):
+        frontiers = _slice_frontiers(budget_seconds, slices)
+        with self._make_pool(len(orchestrator.sessions)) as pool:
+            for step, frontier in enumerate(frontiers, start=1):
+                payloads = {}
+                for label, session in orchestrator.sessions.items():
+                    if session.clock.seconds >= frontier:
+                        continue  # already past: the worker would no-op
+                    if (max_iterations is not None
+                            and session.iterations >= max_iterations):
+                        continue
+                    payloads[label] = {
+                        "command": "run_for_virtual_time",
+                        "frontier": frontier,
+                        "max_iterations": max_iterations,
+                        "checkpoint":
+                            CampaignCheckpoint.capture(session).to_dict(),
+                    }
+                self._dispatch_and_merge(orchestrator, pool, payloads)
+                orchestrator.bus.milestone(
+                    "time_slice", orchestrator=orchestrator,
+                    frontier=frontier, step=step, slices=len(frontiers))
+        for label, session in orchestrator.sessions.items():
+            orchestrator.bus.milestone("shard_done", orchestrator=orchestrator,
+                                       shard=label, session=session)
+
+    def run_iterations(self, orchestrator, count, batch=16):
+        # Round-robin batching only matters for event interleaving inside
+        # one process; across processes each shard runs its full budget in
+        # one dispatch (identical results, one checkpoint round-trip).
+        with self._make_pool(len(orchestrator.sessions)) as pool:
+            payloads = {
+                label: {
+                    "command": "run_iterations",
+                    "count": count,
+                    "checkpoint":
+                        CampaignCheckpoint.capture(session).to_dict(),
+                }
+                for label, session in orchestrator.sessions.items()
+            }
+            self._dispatch_and_merge(orchestrator, pool, payloads)
+        for label, session in orchestrator.sessions.items():
+            orchestrator.bus.milestone("shard_done", orchestrator=orchestrator,
+                                       shard=label, session=session)

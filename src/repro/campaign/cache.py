@@ -3,7 +3,10 @@
 ``instrument_design`` runs the control-register extraction pass and builds
 one deterministic layout per module — the same work for every shard of a
 fig11-style grid that instruments the same core the same way.  The cache
-keys that work by ``(core, style, max_state_size, seed)`` and reuses the
+keys that work by ``(core, layout class, max_state_size, seed)`` — the
+layout class being the style's :data:`~repro.coverage.layout.INSTRUMENTATIONS`
+registry entry, so re-registering a style name cannot serve stale
+layouts — and reuses the
 *layouts* across shards, building only the cheap per-shard collector state
 (coverage maps, memo tables), so runtime coverage stays fully isolated
 per shard while the placement computation runs once per distinct key.
@@ -17,6 +20,7 @@ layout's register objects.
 
 from repro.coverage import FeedbackWeights, instrument_design
 from repro.coverage.instrument import DesignCoverage, ModuleCoverage
+from repro.coverage.layout import INSTRUMENTATIONS
 
 
 class InstrumentationCache:
@@ -41,8 +45,14 @@ class InstrumentationCache:
         cached layouts when an identical instrumentation was built before.
 
         ``weights`` is per-shard state and is never part of the key.
+
+        The key carries the *registered layout class* (the
+        :data:`~repro.coverage.layout.INSTRUMENTATIONS` entry), not the
+        style string: re-registering a style name with ``replace=True``
+        (plugin development, A/B-ing a layout) can never serve stale
+        layouts built by the previous registrant.
         """
-        key = (core.name, style, max_state_size, seed)
+        key = (core.name, INSTRUMENTATIONS.get(style), max_state_size, seed)
         weights = weights or FeedbackWeights()
         cached = self._layouts.get(key)
         if cached is None:

@@ -1,0 +1,114 @@
+"""Campaign checkpoints: (spec, session state) bundles that survive JSON.
+
+A long grid run must be preemptible: :class:`CampaignCheckpoint` captures
+one session's full schedule-determining state — fuzzer LFSR + corpus,
+observed coverage, feedback weights, virtual clock, history, detection
+LFSR — next to the spec that built it, round-trips through JSON, and
+restores into a session whose continued run is **bit-identical** to one
+that was never interrupted.  The checkpoint is taken at an iteration
+boundary (the only state the session drivers expose); everything else
+(DUT core, runner, REF) is rebuilt per iteration and never crosses one.
+
+The same bundle is the unit of work the
+:class:`~repro.campaign.backends.ProcessPoolBackend` ships to worker
+processes: a shard travels to the worker as a checkpoint, runs its time
+slice there, and comes back as a checkpoint.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+from repro.campaign.spec import CampaignSpec
+
+STATE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CampaignCheckpoint:
+    """One campaign frozen at an iteration boundary."""
+
+    spec: CampaignSpec
+    state: dict
+    version: int = STATE_FORMAT_VERSION
+    meta: dict = field(default_factory=dict)  # free-form (labels, notes)
+
+    # -- capture / restore ------------------------------------------------------
+    @classmethod
+    def capture(cls, session, **meta):
+        """Snapshot a running :class:`CampaignSession`."""
+        return cls(spec=session.spec, state=session.state_dict(),
+                   meta=dict(meta))
+
+    def restore(self, *, bus=None, cache=None):
+        """Rebuild the session from the spec, then load the frozen state.
+
+        ``bus``/``cache`` are fresh-construction wiring (a restored shard
+        joins the orchestrator's shared bus and layout cache); they carry
+        no campaign state, so they do not affect bit-identity.
+        """
+        from repro.campaign.session import build_session
+
+        session = build_session(self.spec, bus=bus, cache=cache)
+        session.load_state(self.state)
+        return session
+
+    # -- JSON round-trip --------------------------------------------------------
+    def to_dict(self):
+        return {
+            "version": self.version,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        version = data.get("version", STATE_FORMAT_VERSION)
+        if version > STATE_FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format v{version} is newer than this code "
+                f"(supports up to v{STATE_FORMAT_VERSION})"
+            )
+        return cls(spec=CampaignSpec.from_dict(data["spec"]),
+                   state=data["state"], version=version,
+                   meta=dict(data.get("meta", {})))
+
+    def to_json(self):
+        """Compact JSON string (the process-pool wire format)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    # -- files ------------------------------------------------------------------
+    def save(self, path):
+        """Write the checkpoint as indented JSON; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def checkpoint_session(session, path=None, **meta):
+    """Capture a session; optionally persist to ``path`` in one call."""
+    checkpoint = CampaignCheckpoint.capture(session, **meta)
+    if path is not None:
+        checkpoint.save(path)
+    return checkpoint
+
+
+def resume_session(source, *, bus=None, cache=None):
+    """Restore a session from a checkpoint, a dict, or a JSON file path."""
+    if isinstance(source, CampaignCheckpoint):
+        checkpoint = source
+    elif isinstance(source, dict):
+        checkpoint = CampaignCheckpoint.from_dict(source)
+    else:
+        checkpoint = CampaignCheckpoint.load(source)
+    return checkpoint.restore(bus=bus, cache=cache)

@@ -8,18 +8,34 @@ grid as shards with:
   budget is cut into slices and every shard is advanced to each slice
   frontier in turn, so long-running shards cannot starve short ones and
   progress events interleave on a common clock;
+* **pluggable execution backends** — the scheduling policy above is
+  mechanism-independent: :class:`~repro.campaign.backends.SerialBackend`
+  advances shards in-process (the default), while
+  :class:`~repro.campaign.backends.ProcessPoolBackend` ships each shard
+  to a worker process as a checkpoint and merges results at every slice
+  frontier — bit-identical per-shard results either way, because shards
+  share no mutable state;
 * **per-shard deterministic seeding** — ``reseed_base`` derives a distinct,
   reproducible seed per shard index for specs that do not pin one;
 * **a shared instrumentation cache** — shards with identical
   ``(core, style, max_state_size, seed)`` keys reuse one layout
   computation instead of re-instrumenting the same netlist per shard;
-* **aggregate reporting** — merged coverage series and per-shard stats.
+* **aggregate reporting** — merged coverage series and per-shard stats;
+* **checkpoint/resume** — ``checkpoint()`` freezes every shard as a
+  :class:`~repro.campaign.checkpoint.CampaignCheckpoint`;
+  ``CampaignOrchestrator.from_checkpoints`` rebuilds the grid so a
+  preempted run continues bit-identically.
 
 Every shard publishes on one shared :class:`EventBus`, so a single
 subscriber observes the whole grid.
 """
 
+from bisect import bisect_right
+from heapq import merge as heap_merge
+
+from repro.campaign.backends import resolve_backend
 from repro.campaign.cache import InstrumentationCache
+from repro.campaign.checkpoint import CampaignCheckpoint
 from repro.campaign.events import EventBus
 from repro.campaign.session import build_session
 
@@ -31,12 +47,22 @@ def derive_seed(base, index):
     return mixed or 1
 
 
+def coverage_at_time(series, seconds):
+    """Last-known coverage at or before ``seconds`` in a time-sorted
+    ``[(seconds, points), ...]`` series (binary search, not a rescan)."""
+    # bisect on (seconds, +inf) so an exact time match is included.
+    index = bisect_right(series, (seconds, float("inf")))
+    return series[index - 1][1] if index else 0
+
+
 class CampaignOrchestrator:
     """Runs a list of :class:`CampaignSpec` shards to completion."""
 
-    def __init__(self, specs, *, cache=None, bus=None, reseed_base=None):
+    def __init__(self, specs, *, cache=None, bus=None, reseed_base=None,
+                 backend=None):
         self.bus = bus or EventBus()
         self.cache = cache if cache is not None else InstrumentationCache()
+        self.backend = resolve_backend(backend)
         self.specs = []
         self.sessions = {}
         for index, spec in enumerate(specs):
@@ -66,45 +92,51 @@ class CampaignOrchestrator:
         return list(self.sessions)
 
     # -- scheduling -------------------------------------------------------------
+    def _backend(self, backend):
+        return self.backend if backend is None else resolve_backend(backend)
+
     def run_for_virtual_time(self, budget_seconds, max_iterations=None,
-                             slices=8):
+                             slices=8, backend=None):
         """Advance every shard to the shared budget, slice by slice.
 
         ``max_iterations`` caps each shard individually (the scaled-down
         experiment budgets); per-shard results are identical to running
         each session alone for the same budget, because shards share no
         mutable state — only the layout cache, which is read-only after
-        construction.
+        construction.  ``backend`` overrides the orchestrator's backend
+        for this call (name, class, or instance).
         """
-        slices = max(1, int(slices))
-        for step in range(1, slices + 1):
-            frontier = (budget_seconds if step == slices
-                        else budget_seconds * step / slices)
-            for label, session in self.sessions.items():
-                while session.clock.seconds < frontier:
-                    if (max_iterations is not None
-                            and session.iterations >= max_iterations):
-                        break
-                    session.run_iteration()
-            self.bus.milestone("time_slice", orchestrator=self,
-                               frontier=frontier, step=step, slices=slices)
-        for label, session in self.sessions.items():
-            self.bus.milestone("shard_done", orchestrator=self,
-                               shard=label, session=session)
+        self._backend(backend).run_for_virtual_time(
+            self, budget_seconds, max_iterations=max_iterations,
+            slices=slices)
         return self
 
-    def run_iterations(self, count, batch=16):
+    def run_iterations(self, count, batch=16, backend=None):
         """Run ``count`` iterations per shard in round-robin batches."""
-        remaining = {label: count for label in self.sessions}
-        while any(remaining.values()):
-            for label, session in self.sessions.items():
-                for _ in range(min(batch, remaining[label])):
-                    session.run_iteration()
-                    remaining[label] -= 1
-        for label, session in self.sessions.items():
-            self.bus.milestone("shard_done", orchestrator=self,
-                               shard=label, session=session)
+        self._backend(backend).run_iterations(self, count, batch=batch)
         return self
+
+    # -- checkpoint / resume ----------------------------------------------------
+    def checkpoint(self):
+        """Freeze every shard: ``label -> CampaignCheckpoint``."""
+        return {
+            label: CampaignCheckpoint.capture(session, label=label)
+            for label, session in self.sessions.items()
+        }
+
+    @classmethod
+    def from_checkpoints(cls, checkpoints, *, cache=None, bus=None,
+                         backend=None):
+        """Rebuild a grid from ``checkpoint()`` output (or a list of
+        checkpoints); the resumed run is bit-identical to an uninterrupted
+        one under either backend."""
+        if isinstance(checkpoints, dict):
+            checkpoints = list(checkpoints.values())
+        orchestrator = cls([cp.spec for cp in checkpoints], cache=cache,
+                           bus=bus, backend=backend)
+        for label, checkpoint in zip(orchestrator.labels, checkpoints):
+            orchestrator.sessions[label].load_state(checkpoint.state)
+        return orchestrator
 
     # -- aggregate reporting ----------------------------------------------------
     def coverage_series(self):
@@ -114,26 +146,29 @@ class CampaignOrchestrator:
 
     def merged_coverage_series(self):
         """One merged series on the shared time axis: at every event time,
-        the sum of each shard's last-known coverage total."""
-        events = []
-        for index, (label, session) in enumerate(self.sessions.items()):
-            for seconds, points in session.coverage_series():
-                events.append((seconds, index, points))
-        events.sort(key=lambda event: event[0])
-        latest = [0] * len(self.sessions)
+        the sum of each shard's last-known coverage total.
+
+        Per-shard series are already time-sorted (the virtual clock only
+        advances), so a k-way heap merge gives the global order in
+        O(n log k) without re-sorting the concatenation.
+        """
+        streams = [
+            [(seconds, index, points)
+             for seconds, points in session.coverage_series()]
+            for index, session in enumerate(self.sessions.values())
+        ]
+        latest = [0] * len(streams)
         merged = []
-        for seconds, index, points in events:
+        for seconds, index, points in heap_merge(*streams):
             latest[index] = points
             merged.append((seconds, sum(latest)))
         return merged
 
     def coverage_at(self, label, seconds):
-        """A shard's best coverage at or before ``seconds``."""
-        best = 0
-        for time_point, points in self.sessions[label].coverage_series():
-            if time_point <= seconds:
-                best = points
-        return best
+        """A shard's best coverage at or before ``seconds`` (binary search
+        over the time-sorted series)."""
+        return coverage_at_time(self.sessions[label].coverage_series(),
+                                seconds)
 
     def shard_stats(self):
         """Per-shard summary numbers."""
@@ -156,5 +191,6 @@ class CampaignOrchestrator:
             "shards": stats,
             "total_coverage": sum(s["coverage_total"] for s in stats.values()),
             "total_iterations": sum(s["iterations"] for s in stats.values()),
+            "backend": self.backend.name,
             "instrumentation_cache": dict(self.cache.stats),
         }

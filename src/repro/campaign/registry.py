@@ -16,60 +16,33 @@ without touching core files::
         def feedback(self, iteration, increment): ...
 
 Built-in fuzzers (turbofuzz / difuzzrtl / cascade), cores (rocket / cva6 /
-boom), and timing presets are pre-registered on import.
+boom), and timing presets are pre-registered on import.  The
+:data:`INSTRUMENTATIONS` registry (coverage layout styles; built-ins
+``legacy``/``optimized``) lives in :mod:`repro.coverage.layout` — below
+this package, so the coverage pass can consult it without an import cycle
+— and is re-exported here so campaign callers register every plugin kind
+from one place.  Execution backends register in
+:data:`repro.campaign.backends.BACKENDS`.
 """
 
 from dataclasses import dataclass, field
 
 from repro.baselines.cascade import CascadeConfig, CascadeFuzzer
 from repro.baselines.difuzzrtl import DifuzzRtlConfig, DifuzzRtlFuzzer
+from repro.coverage.layout import INSTRUMENTATIONS, register_instrumentation
 from repro.dut import CORE_CLASSES
 from repro.fuzzer import TurboFuzzConfig, TurboFuzzer
 from repro.harness.timing import TIMING_PRESETS
 from repro.isa.instructions import Category
+from repro.registry import Registry
 
-
-class Registry:
-    """A name -> entry mapping with decorator-style registration."""
-
-    def __init__(self, kind):
-        self.kind = kind
-        self._entries = {}
-
-    def register(self, name, entry=None, replace=False):
-        """Register ``entry`` under ``name``; with ``entry=None`` returns a
-        decorator.  Re-registering an existing name requires ``replace``."""
-        if entry is None:
-            return lambda obj: self.register(name, obj, replace=replace)
-        if name in self._entries and not replace:
-            raise ValueError(f"{self.kind} {name!r} is already registered")
-        self._entries[name] = entry
-        return entry
-
-    def unregister(self, name):
-        self._entries.pop(name, None)
-
-    def get(self, name):
-        try:
-            return self._entries[name]
-        except KeyError:
-            known = ", ".join(sorted(self._entries)) or "<none>"
-            raise ValueError(
-                f"unknown {self.kind} {name!r} (registered: {known})"
-            ) from None
-
-    def names(self):
-        return sorted(self._entries)
-
-    def __contains__(self, name):
-        return name in self._entries
-
-    def __iter__(self):
-        return iter(sorted(self._entries))
-
-    def __len__(self):
-        return len(self._entries)
-
+__all__ = [
+    "Registry",
+    "FUZZERS", "CORES", "TIMINGS", "INSTRUMENTATIONS",
+    "FuzzerPlugin",
+    "register_fuzzer", "register_core", "register_timing",
+    "register_instrumentation",
+]
 
 FUZZERS = Registry("fuzzer")
 CORES = Registry("core")

@@ -17,6 +17,7 @@ from repro.campaign.events import EventBus
 from repro.campaign.registry import CORES, FUZZERS, TIMINGS
 from repro.campaign.spec import CampaignSpec
 from repro.coverage import FeedbackWeights, instrument_design
+from repro.fuzzer.lfsr import Lfsr
 from repro.harness.clock import VirtualClock
 from repro.harness.runner import IterationRunner
 
@@ -50,6 +51,40 @@ class IterationOutcome:
             "mismatch": (self.mismatch.describe()
                          if self.mismatch is not None else None),
         }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a history point from its :meth:`to_dict` form.
+
+        A recorded mismatch comes back as a :class:`RestoredMismatch`
+        placeholder whose ``describe()`` echoes the archived text, so the
+        round-trip ``to_dict(from_dict(d)) == d`` holds bit-for-bit."""
+        described = data["mismatch"]
+        return cls(
+            index=data["index"],
+            virtual_seconds=data["virtual_seconds"],
+            coverage_total=data["coverage_total"],
+            new_coverage=data["new_coverage"],
+            executed_instructions=data["executed_instructions"],
+            prevalence=data["prevalence"],
+            mismatch=(None if described is None
+                      else RestoredMismatch(described)),
+        )
+
+
+class RestoredMismatch:
+    """Stand-in for a checker mismatch rebuilt from a checkpoint: the live
+    record objects do not outlive their run, but the archived description
+    must keep exporting identically."""
+
+    def __init__(self, described):
+        self.described = described
+
+    def describe(self):
+        return self.described
+
+    def __repr__(self):
+        return f"RestoredMismatch({self.described!r})"
 
 
 class CampaignSession:
@@ -138,6 +173,10 @@ class CampaignSession:
         self.total_executed = 0
         self.total_generated = 0
         self._detection_seed = detection_seed
+        # Session-level so its draw position survives a checkpoint: a
+        # resumed bug-detection wait continues the same detection-luck
+        # stream instead of restarting it.
+        self.detection_lfsr = Lfsr(0xDE7EC7 ^ detection_seed)
         self.bus.milestone("campaign_start", session=self, spec=spec)
 
     # -- one iteration ---------------------------------------------------------
@@ -257,8 +296,6 @@ class CampaignSession:
         an end-of-iteration comparison still sees the divergence (register
         overwrites mask transient differences).  ``None`` = fine-grained.
         """
-        from repro.fuzzer.lfsr import Lfsr
-
         triggered = self.bug_trigger_set()
         injected = getattr(self.core.hooks, "bug_ids", frozenset())
         if bug_id not in injected:
@@ -266,7 +303,7 @@ class CampaignSession:
                 f"bug {bug_id!r} is not injected in this campaign "
                 f"(injected: {sorted(injected) or '<none>'})"
             )
-        detection_lfsr = Lfsr(0xDE7EC7 ^ self._detection_seed)
+        detection_lfsr = self.detection_lfsr
         for _ in range(max_iterations):
             self.run_iteration()
             if bug_id in triggered:
@@ -309,6 +346,66 @@ class CampaignSession:
     def history_dicts(self):
         """The campaign history as plain dicts (JSON export hook)."""
         return [outcome.to_dict() for outcome in self.history]
+
+    # -- checkpoint protocol ---------------------------------------------------
+    def _fuzzer_protocol(self, method):
+        """The fuzzer's checkpoint hook, with a protocol-naming error for
+        plugins that predate it (instead of a bare AttributeError)."""
+        hook = getattr(self.fuzzer, method, None)
+        if hook is None:
+            raise TypeError(
+                f"fuzzer {type(self.fuzzer).__name__!r} does not implement "
+                f"the checkpoint protocol ({method}()); checkpointing and "
+                "the process-pool backend require registered fuzzers to "
+                "provide state_dict()/load_state()"
+            )
+        return hook
+
+    def state_dict(self):
+        """Every piece of mutable campaign state, as plain JSON data.
+
+        Taken at an iteration boundary (the only place the session drivers
+        can observe the campaign), this is sufficient for a bit-identical
+        resume: the DUT core and runner are reset at the start of every
+        iteration, so their in-flight state never crosses a boundary, and
+        the instrumentation layouts rebuild deterministically from the
+        spec.  Bundle with the spec via
+        :class:`~repro.campaign.checkpoint.CampaignCheckpoint`.
+        """
+        state = {
+            "history": [outcome.to_dict() for outcome in self.history],
+            "total_executed": self.total_executed,
+            "total_generated": self.total_generated,
+            "fuzzer": self._fuzzer_protocol("state_dict")(),
+            "coverage": self.coverage.state_dict(),
+            "weights": self.weights.state_dict(),
+            "clock": self.clock.state_dict(),
+            "detection_seed": self._detection_seed,
+            "detection_lfsr": self.detection_lfsr.state_dict(),
+        }
+        triggered = getattr(self.core.hooks, "triggered", None)
+        if triggered is not None:
+            state["triggered_bugs"] = sorted(triggered)
+        return state
+
+    def load_state(self, state):
+        """Restore a :meth:`state_dict` snapshot into this (freshly built,
+        spec-identical) session."""
+        self.history = [IterationOutcome.from_dict(outcome)
+                        for outcome in state["history"]]
+        self.total_executed = state["total_executed"]
+        self.total_generated = state["total_generated"]
+        self._fuzzer_protocol("load_state")(state["fuzzer"])
+        self.coverage.load_state(state["coverage"])
+        self.weights.load_state(state["weights"])
+        self.clock.load_state(state["clock"])
+        self._detection_seed = state["detection_seed"]
+        self.detection_lfsr.load_state(state["detection_lfsr"])
+        triggered = getattr(self.core.hooks, "triggered", None)
+        if triggered is not None:
+            triggered.clear()
+            triggered.update(state.get("triggered_bugs", ()))
+        return self
 
 
 def build_session(spec, *, bus=None, cache=None):

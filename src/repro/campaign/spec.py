@@ -24,7 +24,7 @@ class CampaignSpec:
     core: str = "rocket"                 # CORES registry key
     bugs: tuple = ()                     # injected Table II bug ids
     rv32a_only: bool = False
-    instrument_style: str = "optimized"  # "optimized" | "legacy"
+    instrument_style: str = "optimized"  # INSTRUMENTATIONS registry key
     max_state_size: int = 15
     instrument_seed: int = 0
     weight_shifts: dict = field(default_factory=dict)  # module -> shift

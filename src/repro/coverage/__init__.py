@@ -18,10 +18,12 @@ Fig. 6 in :mod:`repro.coverage.reachability`.
 """
 
 from repro.coverage.layout import (
+    INSTRUMENTATIONS,
     InstrumentationLayout,
     LegacyLayout,
     OptimizedLayout,
     make_layout,
+    register_instrumentation,
 )
 from repro.coverage.map import CoverageMap
 from repro.coverage.instrument import (
@@ -37,10 +39,12 @@ from repro.coverage.reachability import (
 )
 
 __all__ = [
+    "INSTRUMENTATIONS",
     "InstrumentationLayout",
     "LegacyLayout",
     "OptimizedLayout",
     "make_layout",
+    "register_instrumentation",
     "CoverageMap",
     "ModuleCoverage",
     "DesignCoverage",

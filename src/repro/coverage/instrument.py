@@ -81,6 +81,17 @@ class ModuleCoverage:
     def count(self):
         return self.map.count
 
+    # -- checkpoint protocol ---------------------------------------------------
+    def state_dict(self):
+        """Observed-coverage snapshot.  The running index and memo table are
+        runtime caches rebuilt deterministically by execution; the observed
+        point set is the only state that outlives an iteration."""
+        return {"map": self.map.state_dict()}
+
+    def load_state(self, state):
+        self.map.load_state(state["map"])
+        self._memo.clear()
+
     def reset_runtime(self):
         """Zero register values and rebuild the running index (DUT reset)."""
         for register in self.layout.registers:
@@ -151,6 +162,27 @@ class DesignCoverage:
         """Forget all observed coverage (new campaign)."""
         for cov in self.modules:
             cov.map.clear()
+
+    # -- checkpoint protocol -----------------------------------------------------
+    def state_dict(self):
+        """Per-module observed coverage, keyed by module name."""
+        return {"modules": {cov.name: cov.state_dict()
+                            for cov in self.modules}}
+
+    def load_state(self, state):
+        """Restore per-module coverage; raises if the module sets differ
+        (a checkpoint only fits an identically instrumented design)."""
+        recorded = state["modules"]
+        missing = set(recorded) - set(self.by_name)
+        extra = set(self.by_name) - set(recorded)
+        if missing or extra:
+            raise ValueError(
+                "coverage checkpoint does not match this design "
+                f"(checkpoint-only modules: {sorted(missing) or '-'}, "
+                f"design-only modules: {sorted(extra) or '-'})"
+            )
+        for name, module_state in recorded.items():
+            self.by_name[name].load_state(module_state)
 
 
 def instrument_design(top, module_names=None, style="optimized",

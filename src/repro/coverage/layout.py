@@ -4,9 +4,22 @@ A layout assigns every control register a *contribution function*
 ``value -> index_bits``; the module's coverage index is the XOR of all
 contributions.  Layouts are deterministic given a seed, so instrumentation
 is reproducible across runs (a requirement for corpus replay).
+
+Layout classes live in the :data:`INSTRUMENTATIONS` registry, keyed by
+style name.  The built-in ``legacy`` and ``optimized`` styles register on
+import; third-party layouts plug in with :func:`register_instrumentation`
+(re-exported by :mod:`repro.campaign`) and become valid
+``CampaignSpec.instrument_style`` values without touching core files::
+
+    @register_instrumentation("hashed")
+    class HashedLayout(InstrumentationLayout):
+        style = "hashed"
+        ...
 """
 
 import random
+
+from repro.registry import Registry
 
 
 def _rotl(value, amount, width_bits):
@@ -57,14 +70,23 @@ class InstrumentationLayout:
         return result
 
     def covered_positions(self):
-        """Bit positions of the index that at least one register can drive."""
+        """Bit positions of the index that at least one register can drive.
+
+        Exact for layouts whose contributions are XOR-linear in the value
+        bits (every shift/rotate placement, i.e. both built-ins): a value
+        is a XOR of single-bit values, so a contribution can only ever set
+        index bits that some single-bit value sets — OR-ing the
+        contribution of each single-bit value per register is the precise
+        union of drivable positions, which is what the undrivable-index
+        accounting (``maxStateSize`` minus the popcount of this mask)
+        relies on.  A registered layout with *non-linear* contributions
+        (e.g. a hashing scheme) must override this with its own exact
+        computation.
+        """
         covered = 0
         for position, register in enumerate(self.registers):
-            all_ones = (1 << register.width) - 1
-            covered |= self.contribution(position, all_ones)
-            # Rotation can spread bits; OR a couple of patterns for safety.
-            covered |= self.contribution(position, 0b0101 & all_ones)
-            covered |= self.contribution(position, 0b1010 & all_ones)
+            for bit in range(register.width):
+                covered |= self.contribution(position, 1 << bit)
         return covered
 
 
@@ -137,13 +159,19 @@ class OptimizedLayout(InstrumentationLayout):
         return product
 
 
-_STYLES = {"legacy": LegacyLayout, "optimized": OptimizedLayout}
+INSTRUMENTATIONS = Registry("instrumentation style")
+
+
+def register_instrumentation(name, layout_class=None, replace=False):
+    """Register an :class:`InstrumentationLayout` subclass under a style
+    name; usable directly or as a class decorator."""
+    return INSTRUMENTATIONS.register(name, layout_class, replace=replace)
+
+
+register_instrumentation("legacy", LegacyLayout)
+register_instrumentation("optimized", OptimizedLayout)
 
 
 def make_layout(style, registers, max_state_size, seed=0):
-    """Factory: build a layout by style name (``legacy`` / ``optimized``)."""
-    try:
-        cls = _STYLES[style]
-    except KeyError:
-        raise ValueError(f"unknown instrumentation style {style!r}") from None
-    return cls(registers, max_state_size, seed=seed)
+    """Factory: build a layout by registered style name."""
+    return INSTRUMENTATIONS.get(style)(registers, max_state_size, seed=seed)

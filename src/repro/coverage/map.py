@@ -56,6 +56,17 @@ class CoverageMap:
     def clear(self):
         self._seen.clear()
 
+    # -- checkpoint protocol ---------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot (indices sorted for stable diffs)."""
+        return {"instrumented_points": self.instrumented_points,
+                "seen": sorted(self._seen)}
+
+    def load_state(self, state):
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self.instrumented_points = state["instrumented_points"]
+        self._seen = set(state["seen"])
+
     def __contains__(self, index):
         return index in self._seen
 

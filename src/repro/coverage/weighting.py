@@ -35,6 +35,15 @@ class FeedbackWeights:
             self.weighted(name, count) for name, count in counts_by_module.items()
         )
 
+    # -- checkpoint protocol ---------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot of the shift table."""
+        return {"shifts": dict(self._shifts)}
+
+    def load_state(self, state):
+        self._shifts = {str(name): int(shift)
+                        for name, shift in state["shifts"].items()}
+
     @classmethod
     def attenuate_arithmetic(cls, muldiv_shift=-2, fpu_shift=-1):
         """The paper's example policy: damp MulDiv (and mildly the FPU)."""

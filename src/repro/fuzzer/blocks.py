@@ -29,6 +29,18 @@ class StimulusEntry:
     needs_target_patch: bool = False  # branch/jal imm patched at assembly
     patch_kind: str = ""  # "branch" | "jal" | "lui" | "addi"
 
+    def state_dict(self):
+        """JSON-round-trippable form (corpus checkpointing)."""
+        return {"word": self.word, "is_prime": self.is_prime,
+                "needs_target_patch": self.needs_target_patch,
+                "patch_kind": self.patch_kind}
+
+    @classmethod
+    def from_state(cls, state):
+        return cls(int(state["word"]), bool(state["is_prime"]),
+                   bool(state["needs_target_patch"]),
+                   str(state["patch_kind"]))
+
 
 @dataclass
 class InstructionBlock:
@@ -52,6 +64,28 @@ class InstructionBlock:
     @property
     def is_control_flow(self):
         return bool(self.cf_kind)
+
+    def state_dict(self):
+        """JSON-round-trippable form (corpus checkpointing)."""
+        return {
+            "prime_name": self.prime_name,
+            "entries": [entry.state_dict() for entry in self.entries],
+            "cf_kind": self.cf_kind,
+            "target_block": self.target_block,
+            "generated": self.generated,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        target = state["target_block"]
+        return cls(
+            prime_name=str(state["prime_name"]),
+            entries=[StimulusEntry.from_state(entry)
+                     for entry in state["entries"]],
+            cf_kind=str(state["cf_kind"]),
+            target_block=None if target is None else int(target),
+            generated=bool(state["generated"]),
+        )
 
     def clone(self, generated=None):
         """Deep copy (mutation retains blocks by copying them)."""

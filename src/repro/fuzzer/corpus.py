@@ -42,6 +42,37 @@ class Seed:
             f"inc={self.coverage_increment}, origin={self.origin})"
         )
 
+    # -- checkpoint protocol ---------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot (blocks + scheduling metadata).
+
+        ``seed_id`` is deliberately excluded: it comes from a
+        process-global counter, so including it would make checkpoint
+        files differ between otherwise bit-identical campaigns (resumed
+        vs. uninterrupted, worker process vs. serial).  Nothing keys on
+        it — a restored seed gets a fresh id.
+        """
+        return {
+            "blocks": [block.state_dict() for block in self.blocks],
+            "coverage_increment": self.coverage_increment,
+            "born_iteration": self.born_iteration,
+            "origin": self.origin,
+            "uses": self.uses,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        from repro.fuzzer.blocks import InstructionBlock
+
+        seed = cls(
+            [InstructionBlock.from_state(block) for block in state["blocks"]],
+            coverage_increment=state["coverage_increment"],
+            born_iteration=int(state["born_iteration"]),
+            origin=str(state["origin"]),
+        )
+        seed.uses = int(state["uses"])
+        return seed
+
 
 class Corpus:
     """Bounded seed store with pluggable scheduling policy."""
@@ -111,6 +142,29 @@ class Corpus:
         seed = lfsr.choice(self.seeds)
         seed.uses += 1
         return seed
+
+    # -- checkpoint protocol -----------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot: seeds in list order (selection
+        and eviction break increment ties by position, so order is part of
+        the schedule-determining state)."""
+        return {
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "priority_prob": list(self.priority_prob),
+            "seeds": [seed.state_dict() for seed in self.seeds],
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+        }
+
+    def load_state(self, state):
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self.capacity = int(state["capacity"])
+        self.policy = str(state["policy"])
+        self.priority_prob = tuple(state["priority_prob"])
+        self.seeds = [Seed.from_state(seed) for seed in state["seeds"]]
+        self.evictions = int(state["evictions"])
+        self.rejected = int(state["rejected"])
 
     # -- introspection -----------------------------------------------------------------
     def increments(self):

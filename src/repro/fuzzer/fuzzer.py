@@ -33,6 +33,27 @@ class FuzzerStats:
         default_factory=lambda: {"direct": 0, "mutation": 0}
     )
 
+    def state_dict(self):
+        return {
+            "iterations": self.iterations,
+            "instructions_generated": self.instructions_generated,
+            "blocks_generated": self.blocks_generated,
+            "blocks_retained": self.blocks_retained,
+            "blocks_deleted": self.blocks_deleted,
+            "seeds_added": self.seeds_added,
+            "mode_counts": dict(self.mode_counts),
+        }
+
+    def load_state(self, state):
+        self.iterations = int(state["iterations"])
+        self.instructions_generated = int(state["instructions_generated"])
+        self.blocks_generated = int(state["blocks_generated"])
+        self.blocks_retained = int(state["blocks_retained"])
+        self.blocks_deleted = int(state["blocks_deleted"])
+        self.seeds_added = int(state["seeds_added"])
+        self.mode_counts = {key: int(value)
+                            for key, value in state["mode_counts"].items()}
+
 
 class TurboFuzzer:
     """The synthesizable fuzzer IP (behavioural model)."""
@@ -152,6 +173,40 @@ class TurboFuzzer:
             )
             if stored:
                 self.stats.seeds_added += 1
+
+    # -- checkpoint protocol -----------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot of all schedule-determining state.
+
+        Checkpoints are taken at iteration boundaries (after ``feedback``);
+        a generated-but-unfed iteration cannot be serialized faithfully.
+        """
+        if self._pending is not None:
+            raise ValueError(
+                "cannot checkpoint mid-iteration: feedback() has not been "
+                "called for the last generated iteration"
+            )
+        return {
+            "lfsr": self.lfsr.state_dict(),
+            "corpus": self.corpus.state_dict(),
+            "stats": self.stats.state_dict(),
+            "persistent_data_patches": [
+                [offset, blob.hex()]
+                for offset, blob in self.persistent_data_patches
+            ],
+        }
+
+    def load_state(self, state):
+        """Restore a :meth:`state_dict` snapshot; the resumed stream of
+        iterations is bit-identical to an uninterrupted run."""
+        self.lfsr.load_state(state["lfsr"])
+        self.corpus.load_state(state["corpus"])
+        self.stats.load_state(state["stats"])
+        self.persistent_data_patches = [
+            (int(offset), bytes.fromhex(blob))
+            for offset, blob in state["persistent_data_patches"]
+        ]
+        self._pending = None
 
     def add_interval_seed(self, blocks, coverage_increment, data_patch=None):
         """deepExplore stage-1 entry point: archive a benchmark interval.

@@ -65,6 +65,15 @@ class Lfsr:
         """Derive an independent LFSR (e.g. per-iteration data seeds)."""
         return Lfsr(self.next() ^ 0x9E3779B97F4A7C15)
 
+    # -- checkpoint protocol ---------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot of the generator state."""
+        return {"state": self.state}
+
+    def load_state(self, state):
+        """Restore a :meth:`state_dict` snapshot (bit-identical stream)."""
+        self.state = int(state["state"]) & _MASK64 or 1
+
     def fill_bytes(self, count):
         """Generate ``count`` pseudo-random bytes (data segment contents)."""
         out = bytearray()

@@ -39,5 +39,15 @@ class VirtualClock:
     def reset(self):
         self._seconds = 0.0
 
+    # -- checkpoint protocol ---------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot.  Floats survive JSON exactly
+        (shortest-repr round-trip), so a restored clock is bit-identical."""
+        return {"frequency_hz": self.frequency_hz, "seconds": self._seconds}
+
+    def load_state(self, state):
+        self.frequency_hz = state["frequency_hz"]
+        self._seconds = state["seconds"]
+
     def __repr__(self):
         return f"VirtualClock({self._seconds:.6f}s @ {self.frequency_hz/1e6:.0f}MHz)"

@@ -10,7 +10,10 @@ All drivers construct their campaigns declaratively through
 registries; grid-shaped experiments (Fig. 7/8/9/11, Table I) run their
 shards through a :class:`~repro.campaign.CampaignOrchestrator` with a
 shared instrumentation cache, so identical netlists are instrumented once
-per grid instead of once per shard.
+per grid instead of once per shard.  Grid drivers take a ``backend=`` knob
+(``None``/``"serial"`` or ``"process-pool"``, or any registered
+:data:`~repro.campaign.BACKENDS` entry) selecting the execution backend;
+results are bit-identical across backends.
 
 Scale note: the paper's campaigns run for hours of FPGA time; these drivers
 take iteration budgets so benchmark runs complete in seconds-to-minutes of
@@ -177,7 +180,7 @@ def fig6_reachable_points(core_name="rocket", state_sizes=(13, 14, 15),
 # ---------------------------------------------------------------------------
 def fig7_instrumentation_gain(iterations=40, fuzzers=("difuzzrtl", "cascade",
                                                       "turbofuzz"),
-                              instructions_per_iteration=None):
+                              instructions_per_iteration=None, backend=None):
     """Max coverage under legacy vs optimized instrumentation, per fuzzer."""
     styles = ("legacy", "optimized")
     orchestrator = CampaignOrchestrator([
@@ -186,7 +189,7 @@ def fig7_instrumentation_gain(iterations=40, fuzzers=("difuzzrtl", "cascade",
             instructions_per_iteration=instructions_per_iteration,
         ).named(f"{fuzzer_name}:{style}")
         for fuzzer_name in fuzzers for style in styles
-    ])
+    ], backend=backend)
     orchestrator.run_iterations(iterations)
     results = {}
     for fuzzer_name in fuzzers:
@@ -205,7 +208,8 @@ def fig7_instrumentation_gain(iterations=40, fuzzers=("difuzzrtl", "cascade",
 # ---------------------------------------------------------------------------
 # Fig. 8 — prevalence
 # ---------------------------------------------------------------------------
-def fig8_prevalence(iterations=15, turbofuzz_sizes=(1000, 4000)):
+def fig8_prevalence(iterations=15, turbofuzz_sizes=(1000, 4000),
+                    backend=None):
     """Prevalence per fuzzer (and per iteration size for TurboFuzz)."""
     specs = [campaign_spec("difuzzrtl").named("difuzzrtl"),
              campaign_spec("cascade").named("cascade")]
@@ -214,7 +218,7 @@ def fig8_prevalence(iterations=15, turbofuzz_sizes=(1000, 4000)):
         .named(f"turbofuzz_{size}")
         for size in turbofuzz_sizes
     ]
-    orchestrator = CampaignOrchestrator(specs)
+    orchestrator = CampaignOrchestrator(specs, backend=backend)
     orchestrator.run_iterations(iterations)
     return {
         label: _prevalence_stats([h.prevalence for h in session.history])
@@ -235,7 +239,7 @@ def _prevalence_stats(values):
 # ---------------------------------------------------------------------------
 def fig9_corpus_scheduling(iterations=200, instructions_per_iteration=1000,
                            corpus_capacity=8, max_state_size=12,
-                           seed=0xC0FFEE):
+                           seed=0xC0FFEE, backend=None):
     """Coverage-increment scheduling vs FIFO on identical budgets.
 
     The corpus capacity is kept small so eviction pressure (where the two
@@ -249,7 +253,7 @@ def fig9_corpus_scheduling(iterations=200, instructions_per_iteration=1000,
             instructions_per_iteration=instructions_per_iteration,
         ).named(policy)
         for policy in ("coverage", "fifo")
-    ])
+    ], backend=backend)
     orchestrator.run_iterations(iterations)
     series = orchestrator.coverage_series()
     finals = {label: session.coverage_total
@@ -373,7 +377,7 @@ def _crossover(fuzz_series, de_series):
 # Fig. 11 — coverage convergence comparison
 # ---------------------------------------------------------------------------
 def fig11_convergence(budget_seconds=4.0, checkpoints=(1.0, 2.0, 4.0),
-                      max_iterations=400):
+                      max_iterations=400, backend=None):
     """All three fuzzers on the same virtual-time axis.
 
     ``budget_seconds``/``checkpoints`` are virtual seconds; the paper uses
@@ -391,7 +395,7 @@ def fig11_convergence(budget_seconds=4.0, checkpoints=(1.0, 2.0, 4.0),
                       instructions_per_iteration=1000).named("turbofuzz_1000"),
         campaign_spec("cascade").named("cascade"),
         campaign_spec("difuzzrtl").named("difuzzrtl"),
-    ])
+    ], backend=backend)
     orchestrator.run_for_virtual_time(budget_seconds,
                                       max_iterations=max_iterations)
     series = orchestrator.coverage_series()
@@ -425,14 +429,14 @@ def fig11_convergence(budget_seconds=4.0, checkpoints=(1.0, 2.0, 4.0),
 # ---------------------------------------------------------------------------
 # Table I — fuzzing speed
 # ---------------------------------------------------------------------------
-def table1_fuzzing_speed(iterations=12):
+def table1_fuzzing_speed(iterations=12, backend=None):
     """Iteration rate (Hz) and executed instructions per second."""
     orchestrator = CampaignOrchestrator([
         campaign_spec("difuzzrtl").named("difuzzrtl"),
         campaign_spec("cascade").named("cascade"),
         campaign_spec("turbofuzz",
                       instructions_per_iteration=4000).named("turbofuzz"),
-    ])
+    ], backend=backend)
     orchestrator.run_iterations(iterations)
     return {
         label: {

@@ -1,0 +1,50 @@
+"""A generic name -> entry registry with decorator-style registration.
+
+Lives at the package root (below every subsystem) so that low-level
+packages like :mod:`repro.coverage` can host registries of their own
+without importing :mod:`repro.campaign` — which sits *above* them and
+would create an import cycle.  The campaign package re-exports
+:class:`Registry` for backward compatibility.
+"""
+
+
+class Registry:
+    """A name -> entry mapping with decorator-style registration."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        self._entries = {}
+
+    def register(self, name, entry=None, replace=False):
+        """Register ``entry`` under ``name``; with ``entry=None`` returns a
+        decorator.  Re-registering an existing name requires ``replace``."""
+        if entry is None:
+            return lambda obj: self.register(name, obj, replace=replace)
+        if name in self._entries and not replace:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name):
+        self._entries.pop(name, None)
+
+    def get(self, name):
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise ValueError(
+                f"unknown {self.kind} {name!r} (registered: {known})"
+            ) from None
+
+    def names(self):
+        return sorted(self._entries)
+
+    def __contains__(self, name):
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(sorted(self._entries))
+
+    def __len__(self):
+        return len(self._entries)

@@ -295,3 +295,50 @@ class TestOrchestratorCache:
     def test_duplicate_labels_disambiguated(self):
         orchestrator = CampaignOrchestrator([small_spec(), small_spec()])
         assert len(orchestrator.labels) == 2
+
+
+class TestInstrumentationRegistry:
+    def test_spec_resolves_registered_style(self):
+        from repro.campaign import INSTRUMENTATIONS, register_instrumentation
+        from repro.coverage import OptimizedLayout
+
+        @register_instrumentation("optimized-probe")
+        class ProbeLayout(OptimizedLayout):
+            style = "optimized-probe"
+
+        try:
+            session = build_session(
+                small_spec().with_instrumentation(style="optimized-probe"))
+            assert all(isinstance(cov.layout, ProbeLayout)
+                       for cov in session.coverage.modules)
+            assert session.run_iteration().coverage_total > 0
+        finally:
+            INSTRUMENTATIONS.unregister("optimized-probe")
+        with pytest.raises(ValueError, match="optimized-probe"):
+            build_session(
+                small_spec().with_instrumentation(style="optimized-probe"))
+
+    def test_cache_keys_on_registry_entry_not_name(self):
+        from repro.campaign import INSTRUMENTATIONS, register_instrumentation
+        from repro.coverage import OptimizedLayout
+        from repro.dut import make_core
+
+        class LayoutA(OptimizedLayout):
+            style = "swappable"
+
+        class LayoutB(OptimizedLayout):
+            style = "swappable"
+
+        register_instrumentation("swappable", LayoutA)
+        try:
+            cache = InstrumentationCache()
+            core = make_core("rocket")
+            first = cache.instrument(core, style="swappable")
+            assert isinstance(first.modules[0].layout, LayoutA)
+            # Re-registering the same name must not serve stale layouts.
+            register_instrumentation("swappable", LayoutB, replace=True)
+            second = cache.instrument(make_core("rocket"), style="swappable")
+            assert isinstance(second.modules[0].layout, LayoutB)
+            assert cache.stats["misses"] == 2 and cache.stats["hits"] == 0
+        finally:
+            INSTRUMENTATIONS.unregister("swappable")

@@ -1,0 +1,323 @@
+"""Checkpoint protocol + execution backends: bit-identical resume."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    BACKENDS,
+    CampaignCheckpoint,
+    CampaignOrchestrator,
+    CampaignSpec,
+    ProcessPoolBackend,
+    SerialBackend,
+    build_session,
+    campaign_report,
+    checkpoint_session,
+    coverage_at_time,
+    register_backend,
+    resolve_backend,
+    resume_session,
+)
+from repro.coverage import CoverageMap, FeedbackWeights
+from repro.fuzzer.corpus import Corpus, Seed
+from repro.fuzzer.lfsr import Lfsr
+from repro.harness.clock import VirtualClock
+
+SMALL = {"instructions_per_iteration": 150}
+
+
+def small_spec(**options):
+    merged = dict(SMALL)
+    merged.update(options)
+    return CampaignSpec().with_fuzzer("turbofuzz", **merged)
+
+
+def json_round_trip(value):
+    return json.loads(json.dumps(value))
+
+
+def corpus_fingerprint(session):
+    """Full serialized corpus (``seed_id`` is deliberately not part of the
+    state protocol — it is a process-global counter)."""
+    return [seed.state_dict() for seed in session.fuzzer.corpus.seeds]
+
+
+class TestComponentStateDicts:
+    def test_lfsr_round_trip_continues_stream(self):
+        source = Lfsr(0xFEED)
+        for _ in range(10):
+            source.next()
+        clone = Lfsr(1)
+        clone.load_state(json_round_trip(source.state_dict()))
+        assert [clone.next() for _ in range(20)] == \
+            [source.next() for _ in range(20)]
+
+    def test_corpus_round_trip_preserves_schedule(self):
+        lfsr = Lfsr(3)
+        corpus = Corpus(capacity=4)
+        for increment in (5, 2, 9, 1, 7):
+            corpus.add(Seed([], coverage_increment=increment))
+        restored = Corpus(capacity=1)
+        restored.load_state(json_round_trip(corpus.state_dict()))
+        assert restored.increments() == corpus.increments()
+        assert restored.capacity == 4
+        assert restored.best().coverage_increment == \
+            corpus.best().coverage_increment
+        # Selection draws must agree from identical LFSR states.
+        twin = Lfsr(3)
+        for _ in range(16):
+            a = corpus.select(lfsr)
+            b = restored.select(twin)
+            assert a.coverage_increment == b.coverage_increment
+
+    def test_coverage_map_round_trip(self):
+        cmap = CoverageMap(1 << 10)
+        cmap.observe_many([3, 7, 500])
+        clone = CoverageMap(0)
+        clone.load_state(json_round_trip(cmap.state_dict()))
+        assert clone.snapshot() == cmap.snapshot()
+        assert clone.instrumented_points == 1 << 10
+        assert not clone.observe(7) and clone.observe(8)
+
+    def test_weights_round_trip(self):
+        weights = FeedbackWeights.attenuate_arithmetic()
+        clone = FeedbackWeights({"X": 3})
+        clone.load_state(json_round_trip(weights.state_dict()))
+        assert clone.weighted("MulDiv", 8) == weights.weighted("MulDiv", 8)
+        assert clone.shift_for("X") == 0
+
+    def test_clock_round_trip_is_exact(self):
+        clock = VirtualClock(100e6)
+        clock.advance_cycles(12345)
+        clock.advance_seconds(0.1)
+        clone = VirtualClock(1.0)
+        clone.load_state(json_round_trip(clock.state_dict()))
+        assert clone.seconds == clock.seconds  # bit-exact, not approx
+        assert clone.frequency_hz == 100e6
+
+    @pytest.mark.parametrize("spec", (small_spec(),
+                                      CampaignSpec(fuzzer="difuzzrtl")),
+                             ids=("turbofuzz", "difuzzrtl"))
+    def test_mid_iteration_checkpoint_rejected(self, spec):
+        session = build_session(spec)
+        session.fuzzer.generate_iteration()
+        with pytest.raises(ValueError, match="mid-iteration"):
+            session.state_dict()
+
+    def test_protocol_less_fuzzer_gets_named_error(self):
+        session = build_session(small_spec())
+
+        class LegacyPluginFuzzer:
+            def generate_iteration(self):
+                raise NotImplementedError
+
+            def feedback(self, iteration, increment):
+                raise NotImplementedError
+
+        session.fuzzer = LegacyPluginFuzzer()
+        with pytest.raises(TypeError, match="checkpoint protocol"):
+            session.state_dict()
+        with pytest.raises(TypeError, match="checkpoint protocol"):
+            session.load_state({"history": [], "total_executed": 0,
+                                "total_generated": 0, "fuzzer": {}})
+
+
+class TestSessionResume:
+    @pytest.mark.parametrize("seed", (0xFEED, 0xBEEF, 7))
+    def test_resume_equals_uninterrupted_turbofuzz(self, seed):
+        spec = small_spec(seed=seed)
+        full = build_session(spec)
+        full.run_iterations(8)
+
+        half = build_session(spec)
+        half.run_iterations(4)
+        checkpoint = CampaignCheckpoint.from_json(
+            CampaignCheckpoint.capture(half).to_json())
+        resumed = resume_session(checkpoint)
+        resumed.run_iterations(4)
+
+        assert resumed.coverage_series() == full.coverage_series()
+        assert resumed.history_dicts() == full.history_dicts()
+        assert campaign_report(resumed) == campaign_report(full)
+        assert resumed.fuzzer.lfsr.state == full.fuzzer.lfsr.state
+        assert corpus_fingerprint(resumed) == corpus_fingerprint(full)
+        assert resumed.clock.seconds == full.clock.seconds
+
+    @pytest.mark.parametrize("fuzzer", ("difuzzrtl", "cascade"))
+    def test_resume_equals_uninterrupted_baselines(self, fuzzer):
+        spec = CampaignSpec(fuzzer=fuzzer)
+        full = build_session(spec)
+        full.run_iterations(4)
+        half = build_session(spec)
+        half.run_iterations(2)
+        resumed = resume_session(
+            json_round_trip(CampaignCheckpoint.capture(half).to_dict()))
+        resumed.run_iterations(2)
+        assert resumed.coverage_series() == full.coverage_series()
+        assert campaign_report(resumed) == campaign_report(full)
+
+    def test_checkpoint_file_round_trip(self, tmp_path):
+        session = build_session(small_spec(seed=11))
+        session.run_iterations(3)
+        path = tmp_path / "shard.json"
+        checkpoint_session(session, path, label="solo")
+        resumed = resume_session(path)
+        assert resumed.spec == session.spec
+        assert resumed.coverage_series() == session.coverage_series()
+
+    def test_resume_preserves_triggered_bugs(self):
+        spec = (small_spec(seed=5)
+                .with_core("cva6", bugs=("C1",)))
+        session = build_session(spec)
+        session.run_iterations(1)
+        session.core.hooks.triggered.add("C1")
+        resumed = resume_session(
+            json_round_trip(CampaignCheckpoint.capture(session).to_dict()))
+        assert resumed.core.hooks.triggered == {"C1"}
+
+    def test_newer_format_version_rejected(self):
+        session = build_session(small_spec())
+        data = CampaignCheckpoint.capture(session).to_dict()
+        data["version"] = 999
+        with pytest.raises(ValueError, match="newer"):
+            CampaignCheckpoint.from_dict(data)
+
+    def test_checkpoint_rejects_mismatched_design(self):
+        rocket = build_session(small_spec(seed=1))
+        rocket.run_iterations(1)
+        state = rocket.state_dict()
+        boom = build_session(small_spec(seed=1).with_core("boom"))
+        with pytest.raises(ValueError, match="does not match this design"):
+            boom.coverage.load_state(state["coverage"])
+
+
+class TestBackends:
+    def grid(self, backend=None):
+        return CampaignOrchestrator(
+            [small_spec(seed=seed).named(f"s{seed}") for seed in (1, 2)],
+            backend=backend,
+        )
+
+    def test_registry_resolution(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("process-pool"), ProcessPoolBackend)
+        backend = ProcessPoolBackend(processes=2)
+        assert resolve_backend(backend) is backend
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            resolve_backend("gpu")
+        assert set(BACKENDS.names()) >= {"serial", "process-pool"}
+
+    def test_third_party_backend_plugs_in(self):
+        calls = []
+
+        @register_backend("probe")
+        class ProbeBackend(SerialBackend):
+            name = "probe"
+
+            def run_iterations(self, orchestrator, count, batch=16):
+                calls.append(count)
+                super().run_iterations(orchestrator, count, batch=batch)
+
+        try:
+            grid = self.grid(backend="probe")
+            grid.run_iterations(1)
+            assert calls == [1]
+            assert grid.report()["backend"] == "probe"
+        finally:
+            BACKENDS.unregister("probe")
+
+    def test_pool_matches_serial_run_iterations(self):
+        serial = self.grid()
+        serial.run_iterations(3)
+        pool = self.grid(backend=ProcessPoolBackend(processes=2))
+        pool.run_iterations(3)
+        assert pool.coverage_series() == serial.coverage_series()
+        assert pool.shard_stats() == serial.shard_stats()
+        assert pool.merged_coverage_series() == serial.merged_coverage_series()
+        # Checkpoint *files* are deterministic too: freezing either grid
+        # yields byte-identical JSON per shard.
+        serial_wire = {label: cp.to_json()
+                       for label, cp in serial.checkpoint().items()}
+        pool_wire = {label: cp.to_json()
+                     for label, cp in pool.checkpoint().items()}
+        assert serial_wire == pool_wire
+
+    def test_pool_matches_serial_virtual_time(self):
+        serial = self.grid()
+        serial.run_for_virtual_time(0.01, max_iterations=12, slices=3)
+        pool = self.grid(backend="process-pool")
+        pool.run_for_virtual_time(0.01, max_iterations=12, slices=3)
+        assert pool.coverage_series() == serial.coverage_series()
+        assert pool.shard_stats() == serial.shard_stats()
+
+    def test_pool_emits_orchestration_milestones(self):
+        grid = self.grid(backend=ProcessPoolBackend(processes=1))
+        kinds = []
+        grid.bus.on_milestone(lambda **kw: kinds.append(kw["kind"]))
+        grid.run_for_virtual_time(0.005, max_iterations=4, slices=2)
+        assert kinds.count("time_slice") == 2
+        assert kinds.count("shard_done") == 2
+
+    def test_per_call_backend_override(self):
+        serial = self.grid()
+        serial.run_iterations(2)
+        grid = self.grid()  # default serial...
+        grid.run_iterations(2, backend="process-pool")  # ...pool per call
+        assert grid.coverage_series() == serial.coverage_series()
+
+
+class TestOrchestratorResume:
+    def test_grid_resume_equals_uninterrupted(self):
+        specs = [small_spec(seed=seed).named(f"s{seed}") for seed in (1, 2, 3)]
+        full = CampaignOrchestrator(specs)
+        full.run_iterations(6)
+
+        half = CampaignOrchestrator(specs)
+        half.run_iterations(3)
+        wire = json_round_trip(
+            {label: cp.to_dict() for label, cp in half.checkpoint().items()})
+        resumed = CampaignOrchestrator.from_checkpoints(
+            [CampaignCheckpoint.from_dict(cp) for cp in wire.values()])
+        resumed.run_iterations(3)
+
+        assert resumed.coverage_series() == full.coverage_series()
+        assert resumed.shard_stats() == full.shard_stats()
+
+    def test_grid_resume_on_pool_backend(self):
+        specs = [small_spec(seed=seed).named(f"s{seed}") for seed in (4, 5)]
+        full = CampaignOrchestrator(specs)
+        full.run_for_virtual_time(0.01, max_iterations=10, slices=2)
+
+        half = CampaignOrchestrator(specs)
+        half.run_for_virtual_time(0.005, max_iterations=10, slices=1)
+        resumed = CampaignOrchestrator.from_checkpoints(
+            half.checkpoint(), backend="process-pool")
+        resumed.run_for_virtual_time(0.01, max_iterations=10, slices=1)
+
+        assert resumed.coverage_series() == full.coverage_series()
+
+
+class TestCoverageAtBisect:
+    def test_matches_linear_scan(self):
+        series = [(0.5, 10), (1.0, 20), (1.0, 25), (2.5, 40)]
+
+        def linear(seconds):
+            best = 0
+            for time_point, points in series:
+                if time_point <= seconds:
+                    best = points
+            return best
+
+        for seconds in (0.0, 0.5, 0.75, 1.0, 2.0, 2.5, 99.0):
+            assert coverage_at_time(series, seconds) == linear(seconds)
+        assert coverage_at_time([], 1.0) == 0
+
+    def test_orchestrator_coverage_at_uses_series(self):
+        grid = CampaignOrchestrator([small_spec(seed=9).named("only")])
+        grid.run_iterations(3)
+        series = grid["only"].coverage_series()
+        last_time, last_points = series[-1]
+        assert grid.coverage_at("only", last_time) == last_points
+        assert grid.coverage_at("only", 0.0) == 0

@@ -123,6 +123,58 @@ class TestLayouts:
         with pytest.raises(ValueError):
             make_layout("bogus", [], 10)
 
+    @given(
+        widths=st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                        max_size=4),
+        style=st.sampled_from(["legacy", "optimized"]),
+        bits=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_covered_positions_exact_against_brute_force(self, widths, style,
+                                                         bits, seed):
+        """covered_positions == OR of every value's contribution bits."""
+        top = Module("T")
+        sub = top.submodule("U")
+        registers = [sub.register(f"r{i}", w) for i, w in enumerate(widths)]
+        glue = sub.logic("g", 1, sources=registers)
+        sub.mux("m", select=glue)
+        layout = make_layout(style, registers, bits, seed=seed)
+        brute = 0
+        for position, register in enumerate(registers):
+            for value in range(1 << register.width):
+                brute |= layout.contribution(position, value)
+        assert layout.covered_positions() == brute
+
+    def test_instrumentation_registry_extension(self):
+        from repro.coverage import (INSTRUMENTATIONS, InstrumentationLayout,
+                                    register_instrumentation)
+
+        @register_instrumentation("identity")
+        class IdentityLayout(InstrumentationLayout):
+            style = "identity"
+
+            def _place(self):
+                return [0] * len(self.registers)
+
+            def contribution(self, position, value):
+                width = self.registers[position].width
+                return value & (1 << width) - 1 & self.mask
+
+            @property
+            def instrumented_points(self):
+                return 1 << self.max_state_size if self.registers else 0
+
+        try:
+            top, sub, _ = _toy_module()
+            layout = make_layout("identity", control_registers(sub), 10)
+            assert isinstance(layout, IdentityLayout)
+            assert "identity" in INSTRUMENTATIONS
+        finally:
+            INSTRUMENTATIONS.unregister("identity")
+        with pytest.raises(ValueError, match="identity"):
+            make_layout("identity", [], 10)
+
 
 class TestReachability:
     def _brute_force(self, layout):
