@@ -4,7 +4,10 @@ Not a paper figure: this benchmark guards the backend abstraction — the
 process-pool backend must produce *bit-identical* per-shard reports while
 its wall-clock scales with worker count (on multi-core hosts; on a single
 core the checkpoint round-trips make it strictly slower, which the
-persisted JSON records honestly).
+persisted JSON records honestly).  Throughput is reported through the
+``repro.perf`` harness conventions (instructions/sec + iterations/sec,
+best-of-variant wall time) so the numbers line up with
+``perf_baseline.json``.
 """
 
 import os
@@ -32,6 +35,19 @@ def _timed_run(backend, iterations):
     return orchestrator, elapsed
 
 
+def _throughput(orchestrator, elapsed):
+    """Harness-style throughput row for one backend run."""
+    executed = sum(session.total_executed
+                   for session in orchestrator.sessions.values())
+    iterations = sum(len(session.history)
+                     for session in orchestrator.sessions.values())
+    return {
+        "wall_s": elapsed,
+        "instructions_per_sec": executed / elapsed if elapsed else None,
+        "iterations_per_sec": iterations / elapsed if elapsed else None,
+    }
+
+
 def test_backend_scaling():
     iterations = scaled(15, 60)
     serial, serial_s = _timed_run("serial", iterations)
@@ -40,12 +56,14 @@ def test_backend_scaling():
     assert pool.coverage_series() == serial.coverage_series()
     assert pool.shard_stats() == serial.shard_stats()
 
+    serial_rate = _throughput(serial, serial_s)
+    pool_rate = _throughput(pool, pool_s)
     result = {
         "shards": len(serial.labels),
         "iterations_per_shard": iterations,
         "cpu_count": os.cpu_count(),
-        "serial_wall_s": serial_s,
-        "process_pool_wall_s": pool_s,
+        "serial": serial_rate,
+        "process_pool": pool_rate,
         "speedup": serial_s / pool_s if pool_s else None,
         "reports_identical": True,
         "serial_report": serial.report(),
@@ -53,6 +71,7 @@ def test_backend_scaling():
     persist("backend_scaling", result)
     print_header("Backend scaling: serial vs process-pool (2-shard grid)")
     print(f"cpu_count={result['cpu_count']}  "
-          f"serial={serial_s:.2f}s  pool={pool_s:.2f}s  "
+          f"serial={serial_s:.2f}s ({serial_rate['instructions_per_sec']:.0f} instr/s)  "
+          f"pool={pool_s:.2f}s ({pool_rate['instructions_per_sec']:.0f} instr/s)  "
           f"speedup={result['speedup']:.2f}x")
     print("per-shard reports: identical (bit-for-bit)")

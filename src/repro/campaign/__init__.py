@@ -40,7 +40,7 @@ from repro.campaign.checkpoint import (
     checkpoint_session,
     resume_session,
 )
-from repro.campaign.events import EventBus
+from repro.campaign.events import AsyncSink, BufferedSink, EventBus
 from repro.campaign.orchestrator import (
     CampaignOrchestrator,
     coverage_at_time,
@@ -74,6 +74,8 @@ __all__ = [
     "IterationOutcome",
     "InstrumentationCache",
     "EventBus",
+    "BufferedSink",
+    "AsyncSink",
     "Registry",
     "FuzzerPlugin",
     "ExecutionBackend",

@@ -382,6 +382,9 @@ class CampaignSession:
             "clock": self.clock.state_dict(),
             "detection_seed": self._detection_seed,
             "detection_lfsr": self.detection_lfsr.state_dict(),
+            # Cross-iteration core state (empty for most cores; BOOM's
+            # persistent branch predictor lives here).
+            "core": self.core.core_state_dict(),
         }
         triggered = getattr(self.core.hooks, "triggered", None)
         if triggered is not None:
@@ -401,6 +404,11 @@ class CampaignSession:
         self.clock.load_state(state["clock"])
         self._detection_seed = state["detection_seed"]
         self.detection_lfsr.load_state(state["detection_lfsr"])
+        # Absent in pre-PR-5 checkpoints (which only ever resumed
+        # correctly on predictor-less cores).
+        core_state = state.get("core")
+        if core_state:
+            self.core.load_core_state(core_state)
         triggered = getattr(self.core.hooks, "triggered", None)
         if triggered is not None:
             triggered.clear()

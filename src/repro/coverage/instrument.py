@@ -13,17 +13,30 @@ combinationally for free.
 from repro.coverage.layout import make_layout
 from repro.coverage.map import CoverageMap
 from repro.coverage.weighting import FeedbackWeights
+from repro.perf.evict import evict_half
 from repro.rtl.netlist import control_registers
+
+_MEMO_LIMIT = 1 << 20
 
 
 class ModuleCoverage:
     """Instrumentation + collection state for one module."""
+
+    __slots__ = ("module", "name", "layout", "map", "tables", "pack_shifts",
+                 "value_masks", "_positions", "_contribs", "index", "_memo",
+                 "_reference_memo")
 
     def __init__(self, module, layout):
         self.module = module
         self.name = module.name
         self.layout = layout
         self.map = CoverageMap(layout.instrumented_points)
+        # Shared per-layout lookup tables: the collectors and the DUT
+        # cores' slot bindings replace contribution() calls with
+        # ``tables[position][value & value_masks[position]]``.
+        self.tables = layout.contribution_tables()
+        self.pack_shifts = layout.pack_shifts()
+        self.value_masks = layout.value_masks()
         self._positions = {
             register.uid: position
             for position, register in enumerate(layout.registers)
@@ -36,19 +49,62 @@ class ModuleCoverage:
         for contribution in self._contribs:
             self.index ^= contribution
         self._memo = {}
+        self._reference_memo = {}
 
     def observe_state(self, values, positions=None):
-        """Observe a per-register value tuple (the fast path).
+        """Observe a per-register value tuple (compatibility slow path).
 
         ``positions`` maps each element of ``values`` to its register
         position in the layout; ``None`` means the tuple covers all
         registers in order.  Registers not covered contribute their reset
-        value of zero (static structural state).  The tuple -> index
-        mapping is memoized; state tuples repeat heavily across a fuzzing
-        campaign, so the layout's index computation runs only on first
-        sight of a state.
+        value of zero (static structural state).  States are memoized under
+        a single packed-int key (values masked to their widths and packed
+        at the layout's bit offsets) — ints hash and compare much faster
+        than value tuples, and the packing is injective on masked states so
+        different position subsets share one table safely.  The memo is
+        bounded with an evict-half policy instead of the old wholesale
+        clear, which re-missed on every state right after the cliff.
+
+        The per-instruction hot path no longer funnels through here: DUT
+        cores keep a running XOR index per module (see
+        ``DutCore.attach_coverage``) and only sample it into the map.
         """
-        index = self._memo.get(values)
+        memo = self._memo
+        masks = self.value_masks
+        shifts = self.pack_shifts
+        key = 0
+        if positions is None:
+            for position, value in enumerate(values):
+                key |= (value & masks[position]) << shifts[position]
+        else:
+            for position, value in zip(positions, values):
+                key |= (value & masks[position]) << shifts[position]
+        index = memo.get(key)
+        if index is None:
+            tables = self.tables
+            index = 0
+            if positions is None:
+                for position, value in enumerate(values):
+                    index ^= tables[position][value & masks[position]]
+            else:
+                for position, value in zip(positions, values):
+                    index ^= tables[position][value & masks[position]]
+            if len(memo) >= _MEMO_LIMIT:
+                evict_half(memo)
+            memo[key] = index
+        return self.map.observe(index)
+
+    def observe_state_reference(self, values, positions=None):
+        """The pre-overhaul observation path, preserved verbatim.
+
+        Value-tuple memo key, per-observation ``layout.contribution()``
+        calls, wholesale ``clear()`` at the bound — exactly the
+        implementation this PR replaced.  It is the oracle the
+        equivalence suite (and ``DutCore.use_reference_observer``) runs
+        against, and the denominator of the perf harness's
+        ``speedup_vs_reference`` ratio.
+        """
+        index = self._reference_memo.get(values)
         if index is None:
             layout = self.layout
             if positions is None:
@@ -58,18 +114,19 @@ class ModuleCoverage:
                 contribution = layout.contribution
                 for position, value in zip(positions, values):
                     index ^= contribution(position, value)
-            if len(self._memo) >= 1 << 20:
-                self._memo.clear()
-            self._memo[values] = index
+            if len(self._reference_memo) >= _MEMO_LIMIT:
+                self._reference_memo.clear()
+            self._reference_memo[values] = index
         return self.map.observe(index)
 
     def update(self, register, value):
-        """Register value changed: refresh the running index."""
+        """Register value changed: refresh the running index (update-on-
+        write; :meth:`tick` samples the result once per clock edge)."""
         position = self._positions.get(register.uid)
         if position is None:
             return
         register.set(value)
-        new_contribution = self.layout.contribution(position, register.value)
+        new_contribution = self.tables[position][register.value]
         self.index ^= self._contribs[position] ^ new_contribution
         self._contribs[position] = new_contribution
 
@@ -91,18 +148,25 @@ class ModuleCoverage:
     def load_state(self, state):
         self.map.load_state(state["map"])
         self._memo.clear()
+        self._reference_memo.clear()
 
     def reset_runtime(self):
         """Zero register values and rebuild the running index (DUT reset)."""
         for register in self.layout.registers:
             register.value = 0
-        self._contribs = [
-            self.layout.contribution(position, 0)
-            for position in range(len(self.layout.registers))
-        ]
+        tables = self.tables
+        self._contribs = [table[0] for table in tables]
         self.index = 0
         for contribution in self._contribs:
             self.index ^= contribution
+
+    def zero_index(self):
+        """The running index of the all-zero (reset) state — the base the
+        DUT cores' slot bindings diff from after every reset."""
+        index = 0
+        for table in self.tables:
+            index ^= table[0]
+        return index
 
 
 class DesignCoverage:

@@ -69,6 +69,53 @@ class InstrumentationLayout:
             result ^= self.contribution(position, value)
         return result
 
+    def contribution_tables(self):
+        """Per-position ``value -> contribution`` lookup tables.
+
+        ``tables[position][value & mask]`` equals
+        ``contribution(position, value)`` for every position; the hot path
+        (``ModuleCoverage`` and the DUT cores' slot bindings) replaces the
+        per-observation ``contribution()`` calls with two list indexings.
+        Built lazily once per layout and shared by every collector over it
+        (the :class:`~repro.campaign.cache.InstrumentationCache` hands one
+        layout to many sessions).
+        """
+        tables = getattr(self, "_contribution_tables", None)
+        if tables is None:
+            tables = [
+                [self.contribution(position, value)
+                 for value in range(1 << register.width)]
+                for position, register in enumerate(self.registers)
+            ]
+            self._contribution_tables = tables
+        return tables
+
+    def pack_shifts(self):
+        """Per-position bit offsets for packing a full state into one int.
+
+        Register values (masked to their widths) packed at these shifts
+        form an injective encoding of the module state, used as the
+        observation-memo key — a single small-int key hashes and compares
+        in a fraction of the cost of a value tuple.
+        """
+        shifts = getattr(self, "_pack_shifts", None)
+        if shifts is None:
+            shifts = []
+            offset = 0
+            for register in self.registers:
+                shifts.append(offset)
+                offset += register.width
+            self._pack_shifts = shifts
+        return shifts
+
+    def value_masks(self):
+        """Per-position width masks (``(1 << width) - 1``), precomputed."""
+        masks = getattr(self, "_value_masks", None)
+        if masks is None:
+            masks = [(1 << register.width) - 1 for register in self.registers]
+            self._value_masks = masks
+        return masks
+
     def covered_positions(self):
         """Bit positions of the index that at least one register can drive.
 

@@ -9,9 +9,16 @@ class CoverageMap:
     which is the fuzzer's feedback signal.
     """
 
+    __slots__ = ("instrumented_points", "_seen", "epoch")
+
     def __init__(self, instrumented_points):
         self.instrumented_points = instrumented_points
         self._seen = set()
+        # Bumped whenever observed coverage may SHRINK (clear / restore):
+        # the DUT cores' combined-observation skip caches key their
+        # validity on this (an entry asserts "these points are already in
+        # the map", which only removal can falsify).
+        self.epoch = 0
 
     def observe(self, index):
         """Record an index; True when it is a newly covered point."""
@@ -55,6 +62,7 @@ class CoverageMap:
 
     def clear(self):
         self._seen.clear()
+        self.epoch += 1
 
     # -- checkpoint protocol ---------------------------------------------------
     def state_dict(self):
@@ -63,9 +71,15 @@ class CoverageMap:
                 "seen": sorted(self._seen)}
 
     def load_state(self, state):
-        """Restore a :meth:`state_dict` snapshot in place."""
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        The seen-set object is mutated rather than replaced: the DUT
+        cores' slot bindings hold a direct reference to it (hot path), and
+        an in-place restore keeps those references valid."""
         self.instrumented_points = state["instrumented_points"]
-        self._seen = set(state["seen"])
+        self._seen.clear()
+        self._seen.update(state["seen"])
+        self.epoch += 1
 
     def __contains__(self, index):
         return index in self._seen

@@ -84,6 +84,25 @@ class BoomCore(DutCore):
         self._branch_predictor = {}
         super().__init__(*args, **kwargs)
 
+    # -- checkpoint protocol ---------------------------------------------------
+    def core_state_dict(self):
+        """The branch predictor (and its mispredict counter) deliberately
+        survives iteration resets, like the persistent BTB/BIM arrays on
+        the FPGA — so it must travel with a checkpoint for resumed
+        latency accounting to stay bit-identical."""
+        return {
+            "branch_predictor": {str(pc): counter for pc, counter
+                                 in self._branch_predictor.items()},
+            "mispredicts": self._mispredicts,
+        }
+
+    def load_core_state(self, state):
+        self._branch_predictor = {
+            int(pc): int(counter)
+            for pc, counter in state.get("branch_predictor", {}).items()
+        }
+        self._mispredicts = int(state.get("mispredicts", 0))
+
     def _latency(self, record, decoded):
         cycles = super()._latency(record, decoded)
         if decoded is not None and decoded.spec.category is Category.BRANCH:

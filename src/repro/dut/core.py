@@ -10,10 +10,21 @@ A :class:`DutCore` couples three things:
    turns into the paper's 100 MHz wall-clock time axis.
 
 Runtime coverage sampling is performance-critical (it runs for every
-instruction of every fuzzing iteration), so the core keeps all
-micro-architectural values in a plain dict and hands per-module value
-tuples to :meth:`~repro.coverage.ModuleCoverage.observe_state`, which
-memoizes the tuple -> coverage-index mapping.
+instruction of every fuzzing iteration).  The core keeps all
+micro-architectural values in a plain dict (subclasses extend
+:meth:`_update_microarch` through the same interface), but observation no
+longer rebuilds name-keyed value tuples per instruction: each instrumented
+module gets a :class:`_SlotBinding` resolved once in
+:meth:`attach_coverage` — a position-indexed view (itemgetter over the
+dynamic register names, per-position contribution tables from the layout)
+that maintains a *running XOR index* by diffing against the previously
+observed values, so per-instruction cost scales with the number of
+registers that changed.  The binding then samples the running index into
+the module's coverage map ("update-on-write, sample-on-tick" — the
+software analogue of the hardware computing the index combinationally for
+free).  The pre-overhaul tuple/memo path is preserved as
+``use_reference_observer()`` and is asserted bit-identical by
+``tests/test_hotpath_equiv.py``.
 
 Subclasses build the netlist (:meth:`_build_netlist`), set their timing
 table, and may extend :meth:`_update_microarch` with core-specific state
@@ -21,12 +32,19 @@ table, and may extend :meth:`_update_microarch` with core-specific state
 """
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 
 from repro.dut.bugs import BuggyHooks, CorrectHooks
 from repro.dut.caches import DirectMappedCache
 from repro.isa import csr as CSR
+from repro.perf.evict import evict_half
+from repro.isa.decoder import _CACHE as _DECODE_CACHE
 from repro.isa.decoder import try_decode
-from repro.isa.instructions import Category
+from repro.isa.instructions import (
+    Category,
+    FP_CATEGORIES as _FP_CATEGORIES,
+    MEMORY_CATEGORIES as _MEMORY_CATEGORIES,
+)
 from repro.ref.executor import ExecConfig, Executor
 from repro.ref.memory import SparseMemory
 from repro.ref.state import ArchState
@@ -35,6 +53,18 @@ from repro.rtl.module import Module
 # Stable small hashes for instruction identities.
 _CATEGORY_INDEX = {category: index for index, category in enumerate(Category)}
 _CATEGORY_DOMAIN = tuple(range(len(Category)))
+
+# Per-step enum constants as plain module globals (one LOAD_GLOBAL each on
+# the hot path instead of an attribute lookup on the enum class).
+_BRANCH = Category.BRANCH
+_JUMP = Category.JUMP
+_MUL = Category.MUL
+_DIV = Category.DIV
+_AMO = Category.AMO
+_FP_DIV = Category.FP_DIV
+_CSR_CAT = Category.CSR
+_SYSTEM = Category.SYSTEM
+_FENCE = Category.FENCE
 
 
 def _name_hash(name):
@@ -48,6 +78,83 @@ _NAME_HASH = {spec.name: _name_hash(spec.name) for spec in _SPECS}
 
 
 _TRAP_CAUSE_DOMAIN = tuple(range(12))
+
+# Bound for the combined-observation skip cache (idempotent to evict).
+_COMBINED_SKIP_LIMIT = 1 << 20
+
+
+class _SlotBinding:
+    """Allocation-free per-module observer, resolved once per attach.
+
+    Holds a position-indexed view of one module's dynamic control
+    registers: an :func:`~operator.itemgetter` over their names (one C
+    call per observation instead of a Python list-build), the layout's
+    per-position contribution tables and width masks, and a running XOR
+    index diffed against the previously observed value tuple — so the
+    per-instruction cost scales with the number of registers that
+    *changed*, and an unchanged module costs one tuple compare.
+    """
+
+    __slots__ = ("cov", "names", "seen", "getter", "tables", "masks",
+                 "prev", "contribs", "index")
+
+    def __init__(self, module_cov, names, positions, vals):
+        self.cov = module_cov
+        self.names = tuple(names)
+        # Direct reference into the module's CoverageMap; valid across
+        # checkpoint restores because CoverageMap.load_state mutates the
+        # set in place instead of replacing it.
+        self.seen = module_cov.map._seen
+        layout_tables = module_cov.tables
+        layout_masks = module_cov.value_masks
+        self.tables = [layout_tables[position] for position in positions]
+        self.masks = [layout_masks[position] for position in positions]
+        if not names:
+            self.getter = lambda values: ()
+        elif len(names) == 1:
+            name = names[0]
+            self.getter = lambda values: (values[name],)
+        else:
+            self.getter = itemgetter(*names)
+        self.prev = ()
+        self.contribs = []
+        self.index = 0
+        self.rebind(vals)
+
+    def rebind(self, vals):
+        """Recompute the running index from the current register values."""
+        self.seen = self.cov.map._seen  # refresh after any map restore
+        values = self.getter(vals)
+        self.prev = values
+        contribs = [table[value & mask] for table, mask, value
+                    in zip(self.tables, self.masks, values)]
+        self.contribs = contribs
+        index = 0
+        for contribution in contribs:
+            index ^= contribution
+        self.index = index
+
+    def observe(self, vals):
+        """Sample the module state into the coverage map (hot path)."""
+        values = self.getter(vals)
+        index = self.index
+        if values != self.prev:
+            prev = self.prev
+            contribs = self.contribs
+            tables = self.tables
+            masks = self.masks
+            for position, value in enumerate(values):
+                if value != prev[position]:
+                    new_contribution = tables[position][value & masks[position]]
+                    index ^= contribs[position] ^ new_contribution
+                    contribs[position] = new_contribution
+            self.index = index
+            self.prev = values
+        seen = self.seen
+        if index in seen:
+            return False
+        seen.add(index)
+        return True
 
 
 @dataclass
@@ -71,6 +178,108 @@ class CoreTiming:
     amo: float = 10.0
     trap: float = 5.0
     extra: dict = field(default_factory=dict)
+
+
+class _FusedObserver:
+    """One combined-index observer for all always-observed modules.
+
+    Fuses their slot bindings behind a single itemgetter over the union of
+    their dynamic register names and a single previous-values tuple, and
+    concatenates the member modules' running XOR indices into ONE integer:
+    each module occupies its own bit field and every contribution table is
+    pre-shifted into the owning module's field, so a register change is
+    two list indexings and two XORs on a single int — no per-module
+    routing.  (A value-tuple memo was tried here and measured ~98% misses:
+    the group contains free-running counters, so the combined state almost
+    never repeats — incremental diffing is the right shape.)
+
+    Observation then needs one membership test: ``seen_combined`` is a
+    skip cache whose entries assert "this combined state's per-module
+    indices are already recorded in their coverage maps".  On first sight
+    the combined index is decomposed immediately and each field added to
+    its module's seen-set, so the per-module maps are exact after every
+    instruction — bit-identical to observing each module separately.  The
+    cache is monotone-safe: maps only grow during a run, entries are only
+    trusted while no map shrank (tracked via CoverageMap.epoch, checked at
+    every rebind), and eviction merely costs a redundant, idempotent
+    re-decomposition.
+    """
+
+    __slots__ = ("slots", "getter", "tables", "masks", "prev", "contribs",
+                 "combined", "seen_combined", "decomp", "_epochs")
+
+    def __init__(self, slot_bindings, vals):
+        self.slots = list(slot_bindings)
+        names = []
+        tables = []
+        masks = []
+        decomp = []
+        offset = 0
+        for slot in self.slots:
+            field_bits = slot.cov.layout.max_state_size
+            for position, name in enumerate(slot.names):
+                names.append(name)
+                tables.append([contribution << offset
+                               for contribution in slot.tables[position]])
+                masks.append(slot.masks[position])
+            decomp.append([offset, (1 << field_bits) - 1, slot.seen])
+            offset += field_bits
+        self.tables = tables
+        self.masks = masks
+        self.decomp = decomp
+        if not names:
+            self.getter = lambda values: ()
+        elif len(names) == 1:
+            single = names[0]
+            self.getter = lambda values: (values[single],)
+        else:
+            self.getter = itemgetter(*names)
+        self.seen_combined = set()
+        self._epochs = None
+        self.rebind(vals)
+
+    def rebind(self, vals):
+        """Re-sync from the member bindings (callers rebind those first);
+        refreshes seen-set references after any checkpoint restore and
+        drops the skip cache if any member map shrank (epoch moved)."""
+        epochs = [slot.cov.map.epoch for slot in self.slots]
+        if epochs != self._epochs:
+            self.seen_combined.clear()
+            self._epochs = epochs
+        for entry, slot in zip(self.decomp, self.slots):
+            entry[2] = slot.seen  # slot.rebind refreshed it first
+        values = self.getter(vals)
+        self.prev = values
+        self.contribs = [table[value & mask] for table, mask, value
+                         in zip(self.tables, self.masks, values)]
+        combined = 0
+        for contribution in self.contribs:
+            combined ^= contribution
+        self.combined = combined
+
+    def observe(self, vals):
+        """Observe every member module for this instruction (hot path)."""
+        values = self.getter(vals)
+        combined = self.combined
+        if values != self.prev:
+            prev = self.prev
+            contribs = self.contribs
+            tables = self.tables
+            masks = self.masks
+            for position, value in enumerate(values):
+                if value != prev[position]:
+                    new_contribution = tables[position][value & masks[position]]
+                    combined ^= contribs[position] ^ new_contribution
+                    contribs[position] = new_contribution
+            self.combined = combined
+            self.prev = values
+        seen = self.seen_combined
+        if combined not in seen:
+            if len(seen) >= _COMBINED_SKIP_LIMIT:
+                evict_half(seen)
+            seen.add(combined)
+            for offset, mask, module_seen in self.decomp:
+                module_seen.add((combined >> offset) & mask)
 
 
 class DutCore:
@@ -97,15 +306,24 @@ class DutCore:
         self.coverage = None
         self._cov_bindings = []  # (ModuleCoverage, names, layout positions)
         self._cov_by_module = {}
+        self._slot_bindings = []  # _SlotBinding per module, same order
+        self._always_bindings = []
+        self._cond_bindings = []  # (module name, _SlotBinding)
+        self._slot_by_module = {}
+        self._fused = None  # _FusedObserver over the always-observed group
+        self._reference_observer = False
         self._active_modules = set()
         self._prev_active = set()
         self.cycles = 0.0
         self.retired = 0
         self._prev_rd = 0
         self._br_hist = 0
+        self._last_mstatus = None
+        self._last_priv = None
         self.top = Module(self.top_name)
         self.regs = {}
         self.vals = {}
+        self._fixed_latency = self._build_fixed_latency()
         self._build_netlist()
 
     # -- to be provided by subclasses ------------------------------------------
@@ -285,12 +503,19 @@ class DutCore:
         :attr:`top`; micro-architectural samples start flowing into it.
 
         Only the *dynamic* control registers (those this abstraction level
-        animates) enter the observation tuples; static structural registers
-        hold zero and contribute nothing to the running index.
+        animates) enter the observations; static structural registers hold
+        zero and contribute nothing to the running index.  All per-module
+        lookup work (name resolution, contribution tables, width masks) is
+        resolved here, once, into :class:`_SlotBinding` objects that the
+        per-instruction path reuses allocation-free.
         """
         self.coverage = design_coverage
         self._cov_bindings = []
         self._cov_by_module = {}
+        self._slot_bindings = []
+        self._always_bindings = []
+        self._cond_bindings = []
+        self._slot_by_module = {}
         for module_cov in design_coverage.modules:
             names = []
             positions = []
@@ -301,33 +526,71 @@ class DutCore:
             binding = (module_cov, tuple(names), tuple(positions))
             self._cov_bindings.append(binding)
             self._cov_by_module[module_cov.name] = binding
+            slot = _SlotBinding(module_cov, names, positions, self.vals)
+            self._slot_bindings.append(slot)
+            self._slot_by_module[module_cov.name] = slot
+            if module_cov.name in self.CONDITIONAL_MODULES:
+                self._cond_bindings.append((module_cov.name, slot))
+            else:
+                self._always_bindings.append(slot)
+        self._fused = _FusedObserver(self._always_bindings, self.vals)
         self._active_modules = set()
         self._prev_active = set()
+
+    def use_reference_observer(self, enabled=True):
+        """Route observation through the pre-overhaul tuple/memo slow path
+        (:meth:`ModuleCoverage.observe_state`).  The equivalence suite runs
+        both paths and asserts bit-identical coverage."""
+        self._reference_observer = enabled
+        if not enabled and self.coverage is not None:
+            # Re-sync the incremental bindings with whatever state the
+            # reference path left behind.
+            for slot in self._slot_bindings:
+                slot.rebind(self.vals)
+            self._fused.rebind(self.vals)
 
     def _observe_active(self):
         """Observe always-active modules plus any module whose state was
         touched this instruction or the last (to capture return-to-idle)."""
         vals = self.vals
-        observe_set = self._active_modules | self._prev_active
-        for module_cov, names, positions in self._cov_bindings:
-            if (module_cov.name in self.CONDITIONAL_MODULES
-                    and module_cov.name not in observe_set):
-                continue
-            module_cov.observe_state(
-                tuple([vals[name] for name in names]), positions
-            )
-        self._prev_active = self._active_modules
-        self._active_modules = set()
+        if self._reference_observer:
+            observe_set = self._active_modules | self._prev_active
+            for module_cov, names, positions in self._cov_bindings:
+                if (module_cov.name in self.CONDITIONAL_MODULES
+                        and module_cov.name not in observe_set):
+                    continue
+                module_cov.observe_state_reference(
+                    tuple([vals[name] for name in names]), positions
+                )
+            self._prev_active = self._active_modules
+            self._active_modules = set()
+            return
+        self._fused.observe(vals)
+        active = self._active_modules
+        prev = self._prev_active
+        if active or prev:
+            for name, slot in self._cond_bindings:
+                if name in active or name in prev:
+                    slot.observe(vals)
+        # Swap-and-clear instead of allocating a fresh set per instruction.
+        self._prev_active = active
+        prev.clear()
+        self._active_modules = prev
 
     def _observe_module(self, module_name):
-        binding = self._cov_by_module.get(module_name)
-        if binding is None:
+        if self._reference_observer:
+            binding = self._cov_by_module.get(module_name)
+            if binding is None:
+                return
+            module_cov, names, positions = binding
+            vals = self.vals
+            module_cov.observe_state_reference(
+                tuple([vals[name] for name in names]), positions
+            )
             return
-        module_cov, names, positions = binding
-        vals = self.vals
-        module_cov.observe_state(
-            tuple([vals[name] for name in names]), positions
-        )
+        slot = self._slot_by_module.get(module_name)
+        if slot is not None:
+            slot.observe(self.vals)
 
     # -- program control ----------------------------------------------------------------
     def reset(self, keep_memory=False):
@@ -344,8 +607,14 @@ class DutCore:
         self.retired = 0
         self._prev_rd = 0
         self._br_hist = 0
+        self._last_mstatus = None
+        self._last_priv = None
         for name in self.vals:
             self.vals[name] = 0
+        for slot in self._slot_bindings:
+            slot.rebind(self.vals)
+        if self._fused is not None:
+            self._fused.rebind(self.vals)
 
     def load_program(self, address, words):
         self.memory.write_program(address, words)
@@ -354,7 +623,12 @@ class DutCore:
     def step(self):
         """Execute one instruction; update microarch state and cycles."""
         record = self.executor.step()
-        decoded = try_decode(record.word) if record.word else None
+        # Inline decode-cache hit (the overwhelmingly common case); the
+        # try_decode call is only paid on a cache miss.
+        word = record.word
+        decoded = _DECODE_CACHE.get(word) if word else None
+        if decoded is None and word:
+            decoded = try_decode(word)
         self.cycles += self._latency(record, decoded)
         self.retired += 1
         self._update_microarch(record, decoded)
@@ -373,6 +647,34 @@ class DutCore:
         return records
 
     # -- latency model -----------------------------------------------------------------------
+    def _build_fixed_latency(self):
+        """Per-category constant extra cycles, resolved once per core.
+
+        Every category whose latency does not depend on the individual
+        instruction (i.e. everything except branches and memory ops, which
+        consult direction / the D-cache) collapses to one dict lookup on
+        the hot path; categories with no extra cost map to 0.0 so the
+        lookup also covers plain ALU traffic.
+        """
+        timing = self.timing
+        extras = {
+            Category.JUMP: timing.jump,
+            Category.MUL: timing.mul,
+            Category.DIV: timing.div,
+            Category.AMO: timing.amo,
+            Category.FP_DIV: timing.fp_div,
+            Category.FP_FMA: timing.fp_fma,
+            Category.FP_ARITH: timing.fp_arith,
+            Category.FP_CVT: timing.fp_arith,
+            Category.FP_CMP: timing.fp_arith,
+            Category.FP_MOVE: timing.fp_arith,
+            Category.CSR: timing.csr,
+        }
+        dynamic = {Category.BRANCH, Category.LOAD, Category.FP_LOAD,
+                   Category.STORE, Category.FP_STORE}
+        return {category: extras.get(category, 0.0)
+                for category in Category if category not in dynamic}
+
     def _latency(self, record, decoded):
         timing = self.timing
         cycles = timing.base
@@ -383,34 +685,22 @@ class DutCore:
         if decoded is None:
             return cycles
         category = decoded.spec.category
-        if category is Category.BRANCH:
+        extra = self._fixed_latency.get(category)
+        if extra is not None:
+            return cycles + extra
+        if category is _BRANCH:
             if record.next_pc != record.pc + 4:
                 cycles += timing.branch_taken
-        elif category is Category.JUMP:
-            cycles += timing.jump
-        elif category in (Category.LOAD, Category.FP_LOAD):
-            address = record.pc if record.mem_addr is None else record.mem_addr
-            hit = self.dcache.access(address)
-            cycles += timing.load_hit if hit else timing.cache_miss
-        elif category in (Category.STORE, Category.FP_STORE):
+            return cycles
+        if category is Category.STORE or category is Category.FP_STORE:
             if record.mem_addr is not None:
                 hit = self.dcache.access(record.mem_addr)
                 cycles += timing.store_hit if hit else timing.cache_miss
-        elif category is Category.MUL:
-            cycles += timing.mul
-        elif category is Category.DIV:
-            cycles += timing.div
-        elif category is Category.AMO:
-            cycles += timing.amo
-        elif category is Category.FP_DIV:
-            cycles += timing.fp_div
-        elif category is Category.FP_FMA:
-            cycles += timing.fp_fma
-        elif category in (Category.FP_ARITH, Category.FP_CVT, Category.FP_CMP,
-                          Category.FP_MOVE):
-            cycles += timing.fp_arith
-        elif category is Category.CSR:
-            cycles += timing.csr
+            return cycles
+        # LOAD / FP_LOAD
+        address = record.pc if record.mem_addr is None else record.mem_addr
+        hit = self.dcache.access(address)
+        cycles += timing.load_hit if hit else timing.cache_miss
         return cycles
 
     # -- microarch state update ---------------------------------------------------------------
@@ -439,8 +729,9 @@ class DutCore:
             return
         spec = decoded.spec
         category = spec.category
+        name = spec.name
         vals["dec_class"] = _CATEGORY_INDEX[category]
-        vals["ex_subop"] = _NAME_HASH[decoded.name]
+        vals["ex_subop"] = _NAME_HASH[name]
         vals["rd_lo"] = decoded.rd & 7
         vals["rs1_lo"] = decoded.rs1 & 7
         vals["rs2_lo"] = decoded.rs2 & 7
@@ -454,13 +745,13 @@ class DutCore:
         self._prev_rd = record.rd or 0
 
         taken = 0
-        if category is Category.BRANCH:
+        if category is _BRANCH:
             taken = 1 if record.next_pc != record.pc + 4 else 0
             self._br_hist = ((self._br_hist << 1) | taken) & 3
             vals["br_hist"] = self._br_hist
             vals["pred_cnt"] = (vals["pred_cnt"] + (1 if taken else -1)) & 3
         vals["br_taken"] = taken
-        if category is Category.JUMP:
+        if category is _JUMP:
             vals["ras_ptr"] = (vals["ras_ptr"] + 1) & 3
 
         state = self.state
@@ -480,16 +771,16 @@ class DutCore:
         vals["fwd_sel"] = raw * 2 + (1 if vals["wb_sel"] else 0)
 
         # MulDiv
-        if category is Category.MUL or category is Category.DIV:
+        if category is _MUL or category is _DIV:
             active.add("MulDiv")
-            vals["md_op"] = 1 if category is Category.MUL else 2
+            vals["md_op"] = 1 if category is _MUL else 2
             vals["md_sign"] = ((rs1_value >> 63) << 1 | (state.xregs[decoded.rs2] >> 63)) & 3
             vals["md_zero"] = 1 if state.xregs[decoded.rs2] == 0 else 0
-            vals["md_word"] = 1 if decoded.name.endswith("w") else 0
+            vals["md_word"] = 1 if name.endswith("w") else 0
             if record.rd_value is not None:
                 vals["md_quot_lo"] = record.rd_value & 15
                 vals["md_rem_lo"] = (record.rd_value >> 4) & 15
-            if category is Category.DIV:
+            if category is _DIV:
                 self._multi_cycle("MulDiv", "md_state", "md_counter",
                                   int(self.timing.div))
             else:
@@ -500,10 +791,10 @@ class DutCore:
             vals["md_op"] = 0
 
         # FPU
-        if spec.is_fp:
+        if category in _FP_CATEGORIES:
             active.add("FPU")
             vals["fpu_state"] = _FPU_STATE.get(category, 1)
-            vals["fpu_fmt"] = 1 if decoded.name.endswith(".d") else 0
+            vals["fpu_fmt"] = 1 if name.endswith(".d") else 0
             vals["fpu_rm"] = decoded.rm if decoded.rm in (0, 1, 2, 3, 4, 7) else 7
             vals["fpu_flags"] = record.fflags_set & 0x1F
             if record.fflags_set & CSR.FFLAGS_NV:
@@ -512,18 +803,18 @@ class DutCore:
                 vals["fp_sign"] = ((record.frd_value >> 63) << 1 | ((record.frd_value >> 31) & 1)) & 3
                 vals["fp_exp_lo"] = (record.frd_value >> 52) & 31
                 vals["fp_man_lo"] = record.frd_value & 63
-            if category is Category.FP_DIV:
+            if category is _FP_DIV:
                 self._multi_cycle("FPU", "fpu_state", "fdiv_cnt",
                                   int(self.timing.fp_div), busy_value=2)
         else:
             vals["fpu_state"] = 0
 
         # LSU
-        if spec.is_memory:
+        if category in _MEMORY_CATEGORIES:
             active.add("LSU")
             op = _MEM_OP[category]
             vals["mem_op"] = op
-            vals["lsu_state"] = 4 if category is Category.AMO else op
+            vals["lsu_state"] = 4 if category is _AMO else op
             address = record.mem_addr
             if address is not None:
                 vals["addr_lo"] = address & 7
@@ -539,29 +830,36 @@ class DutCore:
             vals["mem_op"] = 0
 
         # CSRFile
-        if category is Category.CSR:
+        if category is _CSR_CAT:
             active.add("CSRFile")
             vals["csr_cls"] = self._csr_class(decoded.csr)
             vals["csr_addr_lo"] = decoded.csr & 15
             if record.csr_value is not None:
                 vals["csr_wdata_lo"] = record.csr_value & 31
-        elif category is Category.SYSTEM:
+        elif category is _SYSTEM:
             active.add("CSRFile")
             vals["csr_cls"] = 5
         else:
             vals["csr_cls"] = 0
+        # MSTATUS/privilege change detection is cached: when neither moved
+        # since the last non-trap instruction, the fs/mie/priv vals already
+        # hold the current decoding and the whole block is skipped.
         status = state.csrs[CSR.MSTATUS]
-        fs_status = (status >> CSR.MSTATUS_FS_SHIFT) & 3
-        mie_bit = (status >> 3) & 1
-        if (fs_status != vals["fs_status"] or mie_bit != vals["mie_bit"]
-                or state.privilege != vals["priv"]):
-            active.add("CSRFile")
-        vals["fs_status"] = fs_status
-        vals["mie_bit"] = mie_bit
-        vals["priv"] = state.privilege
+        privilege = state.privilege
+        if status != self._last_mstatus or privilege != self._last_priv:
+            fs_status = (status >> CSR.MSTATUS_FS_SHIFT) & 3
+            mie_bit = (status >> 3) & 1
+            if (fs_status != vals["fs_status"] or mie_bit != vals["mie_bit"]
+                    or privilege != vals["priv"]):
+                active.add("CSRFile")
+            vals["fs_status"] = fs_status
+            vals["mie_bit"] = mie_bit
+            vals["priv"] = privilege
+            self._last_mstatus = status
+            self._last_priv = privilege
 
         # PTW activity is tied to fences in this M-mode-only model.
-        if category is Category.FENCE:
+        if category is _FENCE:
             active.add("PTW")
             ptw_state = (vals["ptw_state"] + 1) & 3
             vals["ptw_state"] = ptw_state if ptw_state else 1
@@ -593,6 +891,21 @@ class DutCore:
             vals[counter_name] = min(sample, 24)
             self._observe_module(module_name)
         vals[counter_name] = 0
+
+    # -- checkpoint protocol ---------------------------------------------------
+    def core_state_dict(self):
+        """Micro-architectural state that survives ACROSS iterations.
+
+        Almost everything in a core is rebuilt by the per-iteration
+        ``reset()``, so the base class has nothing to record; cores that
+        deliberately carry state across iterations (BOOM's branch
+        predictor) override this pair so checkpoint resume stays
+        bit-identical.  Returns JSON-plain data.
+        """
+        return {}
+
+    def load_core_state(self, state):
+        """Restore a :meth:`core_state_dict` snapshot (default: no-op)."""
 
     # -- introspection -----------------------------------------------------------------
     @property

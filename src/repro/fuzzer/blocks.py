@@ -18,7 +18,7 @@ from repro.isa.encoder import encode
 from repro.isa.instructions import Category, SPECS_BY_NAME
 
 
-@dataclass
+@dataclass(slots=True)
 class StimulusEntry:
     """One instruction inside a block, with its mutation metadata
     (the paper's seed stimulus entry: instruction, position, control-flow
@@ -42,7 +42,7 @@ class StimulusEntry:
                    str(state["patch_kind"]))
 
 
-@dataclass
+@dataclass(slots=True)
 class InstructionBlock:
     """Prime instruction + affiliated instructions + control-flow metadata."""
 
@@ -122,9 +122,12 @@ class Iteration:
     block_bases: list = field(default_factory=list)  # absolute addresses
     setup_words: list = field(default_factory=list)
     data_patches: list = field(default_factory=list)  # (offset, bytes) pairs
+    _total_cache: int = None  # filled by assemble(); blocks are frozen then
 
     @property
     def total_instructions(self):
+        if self._total_cache is not None:
+            return self._total_cache
         return sum(block.size for block in self.blocks) + len(self.setup_words)
 
     @property
@@ -180,6 +183,7 @@ class Iteration:
                 cursor += 4
         words.append(encode("ecall"))
         self.words = words
+        self._total_cache = ((cursor - base) >> 2) + len(self.setup_words)
         return words
 
     @staticmethod

@@ -38,11 +38,28 @@ class DirectGenerator:
             if category_weights is not None
             else dict(DEFAULT_CATEGORY_WEIGHTS)
         )
+        # Cached expanded weighted spec list: rebuilding (or even re-keying)
+        # it per generated block dominates generation cost, so it is
+        # revalidated with two cheap compares — the library's active-set
+        # version and a snapshot of the weights dict (callers may mutate
+        # ``category_weights`` in place between blocks).
+        self._expanded = None
+        self._expanded_version = None
+        self._expanded_weights = None
+
+    def _weighted_specs(self):
+        version = self.library.version
+        if (self._expanded is None
+                or self._expanded_version != version
+                or self._expanded_weights != self.category_weights):
+            self._expanded = self.library.weighted_specs(self.category_weights)
+            self._expanded_version = version
+            self._expanded_weights = dict(self.category_weights)
+        return self._expanded
 
     def generate_block(self, block_index, estimated_blocks, jump_window):
         """One random instruction block."""
-        spec = self.library.sample_weighted(self.context.lfsr,
-                                            self.category_weights)
+        spec = self.context.lfsr.choice(self._weighted_specs())
         return self.builder.build(spec, block_index, estimated_blocks,
                                   jump_window)
 

@@ -19,7 +19,7 @@ from repro.fuzzer.lfsr import Lfsr
 from repro.fuzzer.mutation import MutationEngine
 
 
-@dataclass
+@dataclass(slots=True)
 class FuzzerStats:
     """Counters a campaign accumulates."""
 
@@ -96,10 +96,19 @@ class TurboFuzzer:
         seed_cursor = 0
         estimated = budget
         seed_blocks = parent.blocks if parent is not None else ()
+        seed_count = len(seed_blocks)
+        # The mode-choice Bernoulli parameters are invariant across the
+        # block loop; validate the power-of-two denominator once and draw
+        # with a plain mask below (bit-identical to lfsr.chance()).
+        mode_numerator, mode_denominator = config.mutation_mode_prob
+        if mode_denominator & (mode_denominator - 1):
+            raise ValueError("denominator must be a power of two")
+        mode_mask = mode_denominator - 1
+        lfsr = self.lfsr
         while total < budget:
             use_mutation = (
-                seed_cursor < len(seed_blocks)
-                and self.lfsr.chance(config.mutation_mode_prob)
+                seed_cursor < seed_count
+                and (lfsr.next() & mode_mask) < mode_numerator
             )
             if use_mutation:
                 operation = self.mutation.roll_block_op()
@@ -163,9 +172,13 @@ class TurboFuzzer:
             # Mutation mode: refresh the parent seed's recorded increment.
             self.corpus.update_increment(parent, coverage_increment)
         if coverage_increment > 0:
+            # Blocks are never mutated in place once assembled (retention
+            # builds new block objects, operand rebinding works on fresh
+            # clones), so the seed can reference them directly instead of
+            # deep-copying ~hundreds of entry lists per new seed.
             stored = self.corpus.add(
                 Seed(
-                    [block.clone() for block in iteration.blocks],
+                    list(iteration.blocks),
                     coverage_increment=coverage_increment,
                     born_iteration=self.stats.iterations,
                     origin="mutation" if parent is not None else "direct",

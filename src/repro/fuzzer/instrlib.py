@@ -42,6 +42,10 @@ class InstructionLibrary:
         self._by_category = {}
         for spec in self._active:
             self._by_category.setdefault(spec.category, []).append(spec)
+        self._weighted_cache = {}
+        # Bumped on every active-set change; samplers that cache expanded
+        # weighted lists (DirectGenerator) key their cache on this.
+        self.version = getattr(self, "version", 0) + 1
 
     # -- VIO-style configuration -----------------------------------------------
     def enable(self, extension):
@@ -87,15 +91,31 @@ class InstructionLibrary:
         ``weights`` maps :class:`Category` to a non-negative integer; this
         is how the DifuzzRTL-style baseline biases toward control flow and
         how TurboFuzz keeps the paper's roughly 1:5 control-flow ratio.
+
+        The expanded weighted list is invariant per (active set, weights)
+        and is drawn from once per generated block, so it is cached; the
+        cache is dropped whenever the active set changes (:meth:`_rebuild`)
+        and keyed on the effective per-category weights so callers can
+        mutate their weight dicts freely.
         """
-        expanded = []
-        for category, specs in self._by_category.items():
-            weight = weights.get(category, 1)
-            if weight > 0:
-                expanded.extend(specs * weight)
+        expanded = self.weighted_specs(weights)
+        return lfsr.choice(expanded)
+
+    def weighted_specs(self, weights):
+        """The expanded weighted spec list :meth:`sample_weighted` draws
+        from (cached per effective weight vector; see above)."""
+        key = tuple(weights.get(category, 1) for category in self._by_category)
+        expanded = self._weighted_cache.get(key)
+        if expanded is None:
+            expanded = []
+            for category, specs in self._by_category.items():
+                weight = weights.get(category, 1)
+                if weight > 0:
+                    expanded.extend(specs * weight)
+            self._weighted_cache[key] = expanded
         if not expanded:
             raise ValueError("no instructions active after weighting")
-        return lfsr.choice(expanded)
+        return expanded
 
     def __len__(self):
         return len(self._active)

@@ -19,6 +19,8 @@ _MASK64 = (1 << 64) - 1
 class Lfsr:
     """64-bit xorshift LFSR with convenience draws."""
 
+    __slots__ = ("state",)
+
     def __init__(self, seed=1):
         self.state = (seed & _MASK64) or 1  # all-zero state is absorbing
 
@@ -43,11 +45,20 @@ class Lfsr:
             remaining -= take
         return value
 
+    # The draw helpers below inline the xorshift advance instead of calling
+    # :meth:`next`: they run once or more per generated operand, and the
+    # call overhead dominates the three shift-XOR stages.
+
     def below(self, bound):
         """Uniform-ish integer in ``[0, bound)`` (hardware-style modulo)."""
         if bound <= 0:
             raise ValueError("bound must be positive")
-        return self.next() % bound
+        state = self.state
+        state ^= (state << 13) & _MASK64
+        state ^= state >> 7
+        state ^= (state << 17) & _MASK64
+        self.state = state
+        return state % bound
 
     def chance(self, probability):
         """Bernoulli draw with ``probability = (numerator, denominator)``;
@@ -55,11 +66,24 @@ class Lfsr:
         numerator, denominator = probability
         if denominator & (denominator - 1):
             raise ValueError("denominator must be a power of two")
-        return (self.next() & (denominator - 1)) < numerator
+        state = self.state
+        state ^= (state << 13) & _MASK64
+        state ^= state >> 7
+        state ^= (state << 17) & _MASK64
+        self.state = state
+        return (state & (denominator - 1)) < numerator
 
     def choice(self, sequence):
         """Pick one element of a non-empty sequence."""
-        return sequence[self.below(len(sequence))]
+        length = len(sequence)
+        if length <= 0:
+            raise ValueError("bound must be positive")
+        state = self.state
+        state ^= (state << 13) & _MASK64
+        state ^= state >> 7
+        state ^= (state << 17) & _MASK64
+        self.state = state
+        return sequence[state % length]
 
     def fork(self):
         """Derive an independent LFSR (e.g. per-iteration data seeds)."""
@@ -74,9 +98,82 @@ class Lfsr:
         """Restore a :meth:`state_dict` snapshot (bit-identical stream)."""
         self.state = int(state["state"]) & _MASK64 or 1
 
+    def fill_words(self, count):
+        """Batch-draw ``count`` 64-bit states (one advance per word).
+
+        The inner xorshift is inlined on a local so the whole batch costs
+        one attribute write; the stream is bit-identical to ``count``
+        successive :meth:`next` calls.
+        """
+        state = self.state
+        words = []
+        append = words.append
+        for _ in range(count):
+            state ^= (state << 13) & _MASK64
+            state ^= state >> 7
+            state ^= (state << 17) & _MASK64
+            append(state)
+        self.state = state
+        return words
+
     def fill_bytes(self, count):
-        """Generate ``count`` pseudo-random bytes (data segment contents)."""
-        out = bytearray()
-        while len(out) < count:
-            out.extend(self.next().to_bytes(8, "little"))
-        return bytes(out[:count])
+        """Generate ``count`` pseudo-random bytes (data segment contents).
+
+        Bit-identical to the little-endian concatenation of successive
+        :meth:`next` words.  Small requests run the plain batched loop;
+        large ones (the 16 KiB data segment, drawn once per iteration)
+        exploit that xorshift is GF(2)-linear: the whole word stream for a
+        seed is the XOR of precomputed per-seed-bit basis streams, packed
+        as big ints — ~64 wide XORs and one ``to_bytes`` replace tens of
+        thousands of Python-level shift steps.  The final LFSR state is
+        reconstructed the same way, so the draw stream continues exactly
+        as if every word had been stepped individually.
+        """
+        if count <= 0:
+            return b""
+        words = (count + 7) // 8
+        if words < _FILL_BASIS_MIN_WORDS:
+            blob = b"".join(
+                word.to_bytes(8, "little") for word in self.fill_words(words)
+            )
+            return blob[:count] if count & 7 else blob
+        streams, finals = _fill_basis(words)
+        state = self.state
+        blob_int = 0
+        final = 0
+        bit = 0
+        while state:
+            if state & 1:
+                blob_int ^= streams[bit]
+                final ^= finals[bit]
+            state >>= 1
+            bit += 1
+        self.state = final
+        blob = blob_int.to_bytes(words * 8, "little")
+        return blob[:count] if count & 7 else blob
+
+
+# Basis-stream cache for the large-fill fast path: for each requested word
+# count, per-seed-bit (stream, final state) pairs.  Built lazily on first
+# use of a given size and shared process-wide (the data-segment size is a
+# layout constant, so real campaigns populate exactly one entry).
+_FILL_BASIS_MIN_WORDS = 256
+_FILL_BASIS = {}
+
+
+def _fill_basis(words):
+    basis = _FILL_BASIS.get(words)
+    if basis is None:
+        streams = []
+        finals = []
+        for bit in range(64):
+            lfsr = Lfsr(1 << bit)
+            stream = int.from_bytes(
+                b"".join(word.to_bytes(8, "little")
+                         for word in lfsr.fill_words(words)),
+                "little",
+            )
+            streams.append(stream)
+            finals.append(lfsr.state)
+        _FILL_BASIS[words] = basis = (streams, finals)
+    return basis

@@ -8,7 +8,7 @@ retain 2/16 — with retained blocks undergoing operand rebinding and
 retained control flow preserving its original (unrestricted) jump distance.
 """
 
-from repro.fuzzer.blocks import StimulusEntry
+from repro.fuzzer.blocks import InstructionBlock, StimulusEntry
 from repro.isa.decoder import try_decode
 
 
@@ -42,12 +42,28 @@ class MutationEngine:
         (the paper deliberately leaves preserved jumps unrestricted); the
         assembler clamps any target that falls off the iteration end.
         Operands are rebound with the configured probability.
+
+        Copy-on-write: the entry list is deep-copied only when operand
+        rebinding will actually touch it; an unmutated retain shares the
+        seed's (never-mutated-in-place) entries.  The rebind chance is
+        drawn up front — the clone consumes no randomness, so the LFSR
+        stream is unchanged.
         """
-        block = seed_block.clone(generated=False)
+        rebind = self.context.lfsr.chance(self.config.operand_mutation_prob)
+        if rebind:
+            block = seed_block.clone(generated=False)
+        else:
+            block = InstructionBlock(
+                prime_name=seed_block.prime_name,
+                entries=seed_block.entries,
+                cf_kind=seed_block.cf_kind,
+                target_block=seed_block.target_block,
+                generated=False,
+            )
         if block.is_control_flow and block.target_block is not None:
             delta = max(1, block.target_block - old_index)
             block.target_block = new_index + delta
-        if self.context.lfsr.chance(self.config.operand_mutation_prob):
+        if rebind:
             self._rebind_operands(block)
         return block
 

@@ -11,7 +11,7 @@ from repro.ref.state import ArchState
 from repro.dut.bugs import CorrectHooks
 
 
-@dataclass
+@dataclass(slots=True)
 class RunResult:
     """Outcome of executing one iteration."""
 
@@ -91,18 +91,24 @@ class IterationRunner:
         start_cycles = core.cycles
         traps_since_fuzz = 0
 
+        # Per-instruction bookkeeping runs on locals; the result object is
+        # filled in once after the loop.
+        core_step = core.step
+        stop_on_trap = self.stop_on_trap
+        done_pc = layout.done
+        executed = fuzzing = template = traps = 0
         for _ in range(cap):
-            record = core.step()
-            result.executed_instructions += 1
+            record = core_step()
+            executed += 1
             if record.pc >= blocks_base:
-                result.executed_fuzzing += 1
+                fuzzing += 1
                 if record.trap is None:
                     traps_since_fuzz = 0
             else:
-                result.executed_template += 1
+                template += 1
             if record.trap is not None:
-                result.traps += 1
-                if self.stop_on_trap and record.pc >= blocks_base:
+                traps += 1
+                if stop_on_trap and record.pc >= blocks_base:
                     break
                 # Iteration watchdog: a destroyed trap vector spins in
                 # fault loops; hardware moves to the next iteration.
@@ -119,10 +125,14 @@ class IterationRunner:
                             core, annotation=mismatch.describe()
                         )
                     break
-            if record.next_pc == layout.done:
+            if record.next_pc == done_pc:
                 result.completed = True
                 break
 
+        result.executed_instructions = executed
+        result.executed_fuzzing = fuzzing
+        result.executed_template = template
+        result.traps = traps
         result.cycles = core.cycles - start_cycles
         if core.coverage:
             result.new_coverage = core.coverage.total_points - start_points

@@ -10,6 +10,7 @@ from dataclasses import dataclass
 
 from repro.isa.encoding import bits, sext
 from repro.isa.instructions import SPECS, InstrSpec
+from repro.perf.evict import evict_half
 
 
 class IllegalInstruction(Exception):
@@ -21,7 +22,7 @@ class IllegalInstruction(Exception):
         self.reason = reason
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodedInstr:
     """A fully decoded instruction word."""
 
@@ -54,6 +55,7 @@ for _spec in SPECS:
     _BUCKETS.setdefault(_spec.match & 0x7F, []).append(_spec)
 
 _CACHE = {}
+_ILLEGAL_CACHE = {}
 _CACHE_LIMIT = 1 << 18
 
 
@@ -139,27 +141,51 @@ def _extract(spec, word):
 def decode(word):
     """Decode a 32-bit instruction word, raising :class:`IllegalInstruction`.
 
-    Results are memoized; the cache is bounded and cleared wholesale if it
-    grows past the limit (simple and allocation-free on the hot path).
+    Results are memoized, including *illegal* words (mutation produces
+    them in bulk, and the bucket scan plus exception construction is the
+    expensive part — the cached instance is simply re-raised).  Both memo
+    tables are bounded with the shared evict-half policy instead of a
+    wholesale clear, so a long campaign never hits a re-miss-on-everything
+    latency cliff.
     """
     word &= 0xFFFFFFFF
     cached = _CACHE.get(word)
     if cached is not None:
         return cached
+    error = _ILLEGAL_CACHE.get(word)
+    if error is not None:
+        # Reset the traceback before re-raising the cached instance:
+        # ``raise`` APPENDS to an existing __traceback__, so re-raising a
+        # long-lived exception unreset would grow its frame chain (and
+        # retained locals) without bound over a campaign.
+        raise error.with_traceback(None)
     if word & 0b11 != 0b11:
-        raise IllegalInstruction(word, "compressed/invalid length")
-    for spec in _BUCKETS.get(word & 0x7F, ()):
-        if word & spec.mask == spec.match:
-            decoded = _extract(spec, word)
-            if len(_CACHE) >= _CACHE_LIMIT:
-                _CACHE.clear()
-            _CACHE[word] = decoded
-            return decoded
-    raise IllegalInstruction(word)
+        error = IllegalInstruction(word, "compressed/invalid length")
+    else:
+        for spec in _BUCKETS.get(word & 0x7F, ()):
+            if word & spec.mask == spec.match:
+                decoded = _extract(spec, word)
+                if len(_CACHE) >= _CACHE_LIMIT:
+                    evict_half(_CACHE)
+                _CACHE[word] = decoded
+                return decoded
+        error = IllegalInstruction(word)
+    if len(_ILLEGAL_CACHE) >= _CACHE_LIMIT:
+        evict_half(_ILLEGAL_CACHE)
+    _ILLEGAL_CACHE[word] = error
+    raise error
 
 
 def try_decode(word):
     """Like :func:`decode` but returns ``None`` for illegal words."""
+    word &= 0xFFFFFFFF
+    cached = _CACHE.get(word)
+    if cached is not None:
+        return cached
+    # Memoized-illegal fast path: no exception round-trip for words the
+    # mutation engine keeps re-probing.
+    if word in _ILLEGAL_CACHE:
+        return None
     try:
         return decode(word)
     except IllegalInstruction:

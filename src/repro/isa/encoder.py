@@ -87,10 +87,13 @@ def encode(name, rd=0, rs1=0, rs2=0, rs3=0, imm=0, csr=0, shamt=0, rm=RM_DYN, zi
         raise EncodeError(f"unknown mnemonic {name!r}")
     word = spec.match
     fmt = spec.fmt
-    rd = _check_reg(rd, "rd")
-    rs1 = _check_reg(rs1, "rs1")
-    rs2 = _check_reg(rs2, "rs2")
-    rs3 = _check_reg(rs3, "rs3")
+    # One combined range check (negative values shift to -1): this runs
+    # once per generated instruction, so the four per-field calls matter.
+    if (rd | rs1 | rs2 | rs3) >> 5:
+        _check_reg(rd, "rd")
+        _check_reg(rs1, "rs1")
+        _check_reg(rs2, "rs2")
+        _check_reg(rs3, "rs3")
 
     if fmt == "R":
         word |= (rd << 7) | (rs1 << 15) | (rs2 << 20)

@@ -1,0 +1,33 @@
+"""Performance infrastructure: benchmark harness, baselines, cache policies.
+
+Split so the hot paths can import the tiny pieces without pulling in the
+benchmark machinery:
+
+* :mod:`repro.perf.evict` — the shared bounded-cache eviction policy used
+  by the decoder cache and the coverage memo tables.
+* :mod:`repro.perf.harness` — micro/macro benchmark runners
+  (instructions/sec, iterations/sec, per-stage ``cProfile`` breakdowns).
+* :mod:`repro.perf.baseline` — persistence and comparison of
+  ``benchmarks/data/perf_baseline.json`` plus the >10% regression gate.
+
+Run ``python -m repro.perf --help`` for the CLI (measure, update the
+committed baseline, or gate against it).
+"""
+
+from repro.perf.evict import evict_half
+
+__all__ = ["evict_half"]
+
+
+def __getattr__(name):
+    # Lazy re-exports: the hot paths import repro.perf.evict at startup;
+    # the benchmark machinery should only load when actually used.
+    if name in ("measure_macro", "measure_micro", "measure_grid",
+                "profile_stages", "collect", "flat_metrics"):
+        from repro.perf import harness
+        return getattr(harness, name)
+    if name in ("save_baseline", "load_baseline", "compare", "gate",
+                "baseline_path"):
+        from repro.perf import baseline
+        return getattr(baseline, name)
+    raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")

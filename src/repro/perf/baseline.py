@@ -1,0 +1,136 @@
+"""Perf baseline persistence and the >10% regression gate.
+
+``benchmarks/data/perf_baseline.json`` is the committed record of what
+the hot path achieved when this PR landed.  It stores two kinds of
+numbers:
+
+* **ratios** (``macro.speedup_vs_reference``) — two same-process runs on
+  the same machine, so they transfer across hardware.  These are gated in
+  CI: a change that erodes the optimized path's advantage over the
+  preserved reference path by more than ``tolerance`` (default 10%)
+  fails.
+* **absolute throughput** (``macro.instructions_per_sec`` and the micro
+  metrics) — recorded for same-machine comparisons and trend reading.
+  Absolute numbers are NOT gated by default (CI hardware varies run to
+  run); export ``PERF_GATE_ABSOLUTE=1`` to gate them too, e.g. on a
+  dedicated perf box.
+
+Use ``python -m repro.perf update-baseline`` after intentional perf work
+and commit the refreshed JSON alongside the change.
+"""
+
+import json
+import os
+import platform
+import sys
+
+DEFAULT_TOLERANCE = 0.10
+
+# Ratio metrics: machine-independent, always gated.
+GATED_RATIO_METRICS = ("macro.speedup_vs_reference",)
+# Absolute metrics: gated only when PERF_GATE_ABSOLUTE is set.
+GATED_ABSOLUTE_METRICS = (
+    "macro.instructions_per_sec",
+    "micro.lfsr_fill_mb_per_sec",
+    "micro.decode_hot_per_sec",
+    "micro.observe_per_sec",
+)
+
+
+def baseline_path():
+    """Default committed location (``$TURBOFUZZ_DATA_DIR`` overrides,
+    matching the benchmark suite's ``persist()`` convention)."""
+    data_dir = os.environ.get("TURBOFUZZ_DATA_DIR")
+    if data_dir is None:
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        data_dir = os.path.join(root, "benchmarks", "data")
+    return os.path.join(data_dir, "perf_baseline.json")
+
+
+def save_baseline(result, path=None, notes=None):
+    """Persist a :func:`repro.perf.harness.collect` result as the new
+    committed baseline; returns the path."""
+    from repro.perf.harness import flat_metrics
+
+    path = path or baseline_path()
+    payload = {
+        "schema": 1,
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+        "metrics": flat_metrics(result),
+        "detail": result,
+    }
+    if notes:
+        payload["notes"] = notes
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(path=None):
+    path = path or baseline_path()
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def gated_metrics():
+    metrics = list(GATED_RATIO_METRICS)
+    if os.environ.get("PERF_GATE_ABSOLUTE"):
+        metrics += list(GATED_ABSOLUTE_METRICS)
+    return tuple(metrics)
+
+
+def compare(current_metrics, baseline, tolerance=DEFAULT_TOLERANCE,
+            metrics=None):
+    """Regressions of ``current_metrics`` against a stored baseline.
+
+    Returns a list of dicts (empty = gate passes).  A metric regresses
+    when ``current < baseline * (1 - tolerance)``.  Metrics missing on
+    either side are reported as regressions — silently skipping a gate is
+    how perf rot sneaks in.
+    """
+    recorded = baseline.get("metrics", {})
+    regressions = []
+    for name in (metrics if metrics is not None else gated_metrics()):
+        base_value = recorded.get(name)
+        current_value = current_metrics.get(name)
+        if base_value is None or current_value is None:
+            regressions.append({
+                "metric": name,
+                "current": current_value,
+                "baseline": base_value,
+                "reason": "metric missing",
+            })
+            continue
+        floor = base_value * (1.0 - tolerance)
+        if current_value < floor:
+            regressions.append({
+                "metric": name,
+                "current": current_value,
+                "baseline": base_value,
+                "floor": floor,
+                "reason": (
+                    f"{name} regressed: {current_value:.3f} < "
+                    f"{floor:.3f} ({base_value:.3f} - {tolerance:.0%})"
+                ),
+            })
+    return regressions
+
+
+def gate(result=None, path=None, tolerance=DEFAULT_TOLERANCE):
+    """Measure (if needed), compare, and return ``(ok, regressions,
+    current_metrics)`` — the programmatic form of ``python -m repro.perf
+    gate``."""
+    from repro.perf.harness import collect, flat_metrics
+
+    if result is None:
+        result = collect()
+    current = flat_metrics(result)
+    baseline = load_baseline(path)
+    regressions = compare(current, baseline, tolerance=tolerance)
+    return (not regressions), regressions, current

@@ -1,0 +1,69 @@
+"""Re-enactment of preserved pre-overhaul code paths, for benchmarking.
+
+The hot-path overhaul kept its replaced implementations alive as
+reference oracles (``ModuleCoverage.observe_state_reference``, the
+equivalence suite runs them for bit-identity).  This module gathers the
+toggles into one context manager so the perf harness can measure a
+campaign with the pre-PR per-instruction machinery re-enacted **in the
+same process** — the only way to get a machine-state-independent speedup
+ratio on noisy shared runners.
+
+Covered re-enactments (everything with a preserved implementation):
+
+* observer: tuple-build + ``observe_state_reference`` per module per
+  instruction (``DutCore.use_reference_observer``),
+* data segment: per-word loop ``fill_bytes`` instead of the GF(2)
+  basis-stream fast path,
+* weighted sampling: rebuild the expanded weighted spec list per
+  generated block instead of the cached list.
+
+Executor-level rewrites (decode caches, dispatch pre-binding, softfloat
+memoization) have no preserved alternates, so the re-enacted ratio is a
+*lower bound* on the full speedup vs the true pre-PR tree; the committed
+baseline's notes record the out-of-process paired measurement against the
+actual pre-PR checkout for the full number.
+"""
+
+from contextlib import contextmanager
+
+from repro.fuzzer.direct import DirectGenerator
+from repro.fuzzer.lfsr import Lfsr
+
+
+def _fill_bytes_reference(self, count):
+    """Pre-overhaul fill: one xorshift step + 8-byte extend per word."""
+    out = bytearray()
+    while len(out) < count:
+        out.extend(self.next().to_bytes(8, "little"))
+    return bytes(out[:count])
+
+
+def _weighted_specs_reference(self):
+    """Pre-overhaul sampling: rebuild the expanded list per block."""
+    expanded = []
+    for category, specs in self.library._by_category.items():
+        weight = self.category_weights.get(category, 1)
+        if weight > 0:
+            expanded.extend(specs * weight)
+    if not expanded:
+        raise ValueError("no instructions active after weighting")
+    return expanded
+
+
+@contextmanager
+def reenact_pre_overhaul():
+    """Swap the preserved pre-overhaul implementations in, process-wide.
+
+    Only for benchmarking (the harness's reference variant); sessions
+    built inside the block still need ``use_reference_observer(True)``
+    for the observer part.
+    """
+    original_fill = Lfsr.fill_bytes
+    original_weighted = DirectGenerator._weighted_specs
+    Lfsr.fill_bytes = _fill_bytes_reference
+    DirectGenerator._weighted_specs = _weighted_specs_reference
+    try:
+        yield
+    finally:
+        Lfsr.fill_bytes = original_fill
+        DirectGenerator._weighted_specs = original_weighted

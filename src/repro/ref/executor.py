@@ -13,6 +13,7 @@ instruction by instruction, which is the paper's fine-grained self-checking.
 from dataclasses import dataclass, field
 
 from repro.isa import csr as CSR
+from repro.isa.decoder import _CACHE as _DECODE_CACHE
 from repro.isa.decoder import IllegalInstruction, decode
 from repro.isa.encoding import MASK32, MASK64, sext, to_signed, to_unsigned
 from repro.isa.instructions import Extension
@@ -41,7 +42,7 @@ from repro.softfloat import (
 from repro.softfloat import formats as fp_formats
 
 
-@dataclass
+@dataclass(slots=True)
 class Trap:
     """An architectural trap taken while executing one instruction."""
 
@@ -61,7 +62,7 @@ class _TrapSignal(Exception):
         self.trap = Trap(cause, tval)
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitRecord:
     """What one instruction did, for differential checking and tracing."""
 
@@ -167,6 +168,13 @@ class Executor:
         self.config = config or ExecConfig()
         self.hooks = hooks or DEFAULT_HOOKS
         self.instret = 0  # total step() calls, for harness bookkeeping
+        # Hot-path aliases resolved once (config and hooks are static per
+        # hart; a fresh Executor is built on every DUT reset).
+        self._extensions = self.config.extensions
+        self._minstret_always = (
+            type(self.hooks).counts_minstret is ExecHooks.counts_minstret
+        )
+        self._load_word = memory.load_word
 
     # ------------------------------------------------------------------ fetch
     def step(self):
@@ -179,26 +187,34 @@ class Executor:
             if pc & 3:
                 raise _TrapSignal(CSR.CAUSE_MISALIGNED_FETCH, pc)
             try:
-                word = self.memory.load_word(pc)
+                word = self._load_word(pc)
             except MemoryAccessError:
                 raise _TrapSignal(CSR.CAUSE_FETCH_ACCESS, pc) from None
-            try:
-                decoded = decode(word)
-            except IllegalInstruction:
-                raise _TrapSignal(CSR.CAUSE_ILLEGAL_INSTRUCTION, word) from None
-            if decoded.spec.extension not in self.config.extensions:
+            decoded = _DECODE_CACHE.get(word)
+            if decoded is None:
+                try:
+                    decoded = decode(word)
+                except IllegalInstruction:
+                    raise _TrapSignal(
+                        CSR.CAUSE_ILLEGAL_INSTRUCTION, word
+                    ) from None
+            spec = decoded.spec
+            if spec.extension not in self._extensions:
                 raise _TrapSignal(CSR.CAUSE_ILLEGAL_INSTRUCTION, word)
-            record = CommitRecord(pc=pc, word=word, name=decoded.name, next_pc=pc + 4)
-            self._execute(decoded, record)
+            record = CommitRecord(pc, word, spec.name, pc + 4)
+            # Handlers are pre-attached to the spec objects at import (see
+            # _attach_handlers); one attribute load replaces the
+            # name-keyed dict dispatch.
+            spec.exec_handler(self, decoded, record)
         except _TrapSignal as signal:
-            name = decoded.name if decoded is not None else "?"
-            record = CommitRecord(pc=pc, word=word, name=name, next_pc=0)
+            name = decoded.spec.name if decoded is not None else "?"
+            record = CommitRecord(pc, word, name, 0)
             record.trap = signal.trap
             record.next_pc = self._take_trap(signal.trap, pc)
         state.pc = record.next_pc
         self.instret += 1
         trapped = record.trap is not None
-        if self.hooks.counts_minstret(decoded, trapped):
+        if self._minstret_always or self.hooks.counts_minstret(decoded, trapped):
             state.csrs[CSR.MINSTRET] = (state.csrs[CSR.MINSTRET] + 1) & MASK64
         state.csrs[CSR.MCYCLE] = (state.csrs[CSR.MCYCLE] + 1) & MASK64
         return record
@@ -219,18 +235,11 @@ class Executor:
         state.privilege = PRV_M
         return state.csrs[CSR.MTVEC] & ~3
 
-    # ---------------------------------------------------------------- execute
-    def _execute(self, d, record):
-        handler = _DISPATCH.get(d.name)
-        if handler is None:  # pragma: no cover - table covers all specs
-            raise _TrapSignal(CSR.CAUSE_ILLEGAL_INSTRUCTION, d.word)
-        handler(self, d, record)
-
     # --- helpers --------------------------------------------------------
     def _wx(self, record, index, value):
         value &= MASK64
-        self.state.write_x(index, value)
         if index:
+            self.state.xregs[index] = value
             record.rd = index
             record.rd_value = value
         else:
@@ -239,7 +248,9 @@ class Executor:
 
     def _wf(self, record, index, value):
         value &= MASK64
-        self.state.write_f(index, value)
+        state = self.state
+        state.fregs[index] = value
+        state.set_fs_dirty()
         record.frd = index
         record.frd_value = value
 
@@ -918,3 +929,21 @@ def _build_dispatch():
 
 
 _DISPATCH = _build_dispatch()
+
+
+def _illegal_handler(executor, d, record):
+    raise _TrapSignal(CSR.CAUSE_ILLEGAL_INSTRUCTION, d.word)
+
+
+def _attach_handlers():
+    """Pre-bind each spec's executor handler onto the (frozen) spec object
+    so the per-step dispatch is a single attribute load instead of a
+    name-keyed dict lookup."""
+    from repro.isa.instructions import SPECS
+
+    for spec in SPECS:
+        handler = _DISPATCH.get(spec.name, _illegal_handler)
+        object.__setattr__(spec, "exec_handler", handler)
+
+
+_attach_handlers()

@@ -7,9 +7,17 @@ outside the mapped ranges faults, which feeds the access-fault exception
 paths of the DUT.
 """
 
+from struct import Struct
+
 PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
+
+# Fixed-width little-endian readers for the common access sizes; unpacking
+# straight from the page bytearray skips the slice-copy + int.from_bytes of
+# the generic path (load is called at least once per executed instruction).
+_UNPACK_WORD = Struct("<I").unpack_from
+_UNPACK_DOUBLE = Struct("<Q").unpack_from
 
 
 class MemoryAccessError(Exception):
@@ -30,6 +38,7 @@ class SparseMemory:
         ``None`` makes the whole 64-bit space accessible."""
         self._pages = {}
         self._ranges = list(ranges) if ranges else None
+        self._last_range = (1, 0)  # empty window; replaced on first hit
 
     def add_range(self, base, size):
         """Whitelist an additional legal window."""
@@ -38,12 +47,21 @@ class SparseMemory:
         self._ranges.append((base, size))
 
     def in_range(self, address, size=1):
-        """True when ``[address, address+size)`` lies in a legal window."""
+        """True when ``[address, address+size)`` lies in a legal window.
+
+        Consecutive accesses overwhelmingly hit the same window (straight-
+        line fetch, data-segment loads), so the last matching window is
+        checked first before scanning the list.
+        """
         if self._ranges is None:
             return True
         end = address + size
+        base, limit = self._last_range
+        if base <= address and end <= limit:
+            return True
         for base, window in self._ranges:
             if base <= address and end <= base + window:
+                self._last_range = (base, base + window)
                 return True
         return False
 
@@ -60,12 +78,17 @@ class SparseMemory:
 
     def load(self, address, size, kind="load"):
         """Read ``size`` bytes, little-endian, as an unsigned integer."""
-        self._check(address, size, kind)
+        if not self.in_range(address, size):
+            raise MemoryAccessError(address, size, kind)
         offset = address & PAGE_MASK
         if offset + size <= PAGE_SIZE:
             page = self._pages.get(address >> PAGE_SHIFT)
             if page is None:
                 return 0
+            if size == 4:
+                return _UNPACK_WORD(page, offset)[0]
+            if size == 8:
+                return _UNPACK_DOUBLE(page, offset)[0]
             return int.from_bytes(page[offset : offset + size], "little")
         return int.from_bytes(self.load_bytes(address, size, check=False), "little")
 

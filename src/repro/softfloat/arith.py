@@ -22,6 +22,7 @@ from repro.softfloat.formats import (
     zero_bits,
 )
 from repro.softfloat.rounding import _floor_log2, round_to_format
+from repro.softfloat.memo import memoize_fp
 
 
 def _nan_result(fmt, invalid):
@@ -50,6 +51,7 @@ def _zero_sign_for_sum(sign_a, sign_b, rm):
     return 1 if rm == RM_RDN else 0
 
 
+@memoize_fp
 def fp_add(a, b, fmt, rm):
     """a + b."""
     nan = _propagate_nan((a, b), fmt)
@@ -80,6 +82,7 @@ def fp_sub(a, b, fmt, rm):
     return fp_add(a, b ^ fmt.sign_bit, fmt, rm)
 
 
+@memoize_fp
 def fp_mul(a, b, fmt, rm):
     """a * b."""
     nan = _propagate_nan((a, b), fmt)
@@ -99,6 +102,7 @@ def fp_mul(a, b, fmt, rm):
     return round_to_format(exact, fmt, rm, zero_sign=sign)
 
 
+@memoize_fp
 def fp_div(a, b, fmt, rm):
     """a / b, raising DZ for finite/0 and NV for 0/0 and inf/inf."""
     nan = _propagate_nan((a, b), fmt)
@@ -124,6 +128,7 @@ def fp_div(a, b, fmt, rm):
     return round_to_format(exact, fmt, rm, zero_sign=sign)
 
 
+@memoize_fp
 def fp_sqrt(a, fmt, rm):
     """sqrt(a), correctly rounded via integer square root with guard bits."""
     nan = _propagate_nan((a,), fmt)
@@ -163,6 +168,7 @@ def fp_sqrt(a, fmt, rm):
     return bits_value, flags | FFLAGS_NX
 
 
+@memoize_fp
 def fp_fma(a, b, c, fmt, rm, negate_product=False, negate_c=False):
     """Fused multiply-add ``±(a*b) ± c`` with a single rounding.
 

@@ -12,6 +12,7 @@ from repro.softfloat.formats import (
     split,
     unpack,
 )
+from repro.softfloat.memo import memoize_fp
 
 
 def _ordered_lt(a, b, fmt):
@@ -32,6 +33,7 @@ def _ordered_lt(a, b, fmt):
     return unpack(a, fmt) < unpack(b, fmt)
 
 
+@memoize_fp
 def fp_eq(a, b, fmt):
     """feq: quiet comparison; NV only for signalling NaN operands."""
     flags = 0
@@ -45,6 +47,7 @@ def fp_eq(a, b, fmt):
     return (1 if equal else 0), flags
 
 
+@memoize_fp
 def fp_lt(a, b, fmt):
     """flt: signalling comparison; NV for any NaN operand."""
     if is_nan(a, fmt) or is_nan(b, fmt):
@@ -52,6 +55,7 @@ def fp_lt(a, b, fmt):
     return (1 if _ordered_lt(a, b, fmt) else 0), 0
 
 
+@memoize_fp
 def fp_le(a, b, fmt):
     """fle: signalling comparison; NV for any NaN operand."""
     if is_nan(a, fmt) or is_nan(b, fmt):
@@ -83,11 +87,13 @@ def _minmax(a, b, fmt, want_max):
     return (a if a_lt_b else b), flags
 
 
+@memoize_fp
 def fp_min(a, b, fmt):
     """fmin.s / fmin.d."""
     return _minmax(a, b, fmt, want_max=False)
 
 
+@memoize_fp
 def fp_max(a, b, fmt):
     """fmax.s / fmax.d."""
     return _minmax(a, b, fmt, want_max=True)
@@ -106,6 +112,7 @@ CLASS_SNAN = 1 << 8
 CLASS_QNAN = 1 << 9
 
 
+@memoize_fp
 def fp_classify(a, fmt):
     """fclass: one-hot classification mask."""
     if is_nan(a, fmt):

@@ -10,6 +10,7 @@ from repro.softfloat.formats import (
     unpack,
 )
 from repro.softfloat.rounding import round_to_format, round_to_int
+from repro.softfloat.memo import memoize_fp
 
 
 def _int_bounds(width, signed):
@@ -18,6 +19,7 @@ def _int_bounds(width, signed):
     return 0, (1 << width) - 1
 
 
+@memoize_fp
 def fp_to_int(a, fmt, rm, width, signed):
     """fcvt.{w,wu,l,lu}.{s,d}: float to integer with NV/NX semantics.
 
@@ -41,6 +43,7 @@ def fp_to_int(a, fmt, rm, width, signed):
     return value & mask, (FFLAGS_NX if inexact else 0)
 
 
+@memoize_fp
 def int_to_fp(value, width, signed, fmt, rm):
     """fcvt.{s,d}.{w,wu,l,lu}: integer (bit pattern) to float."""
     mask = (1 << width) - 1
@@ -51,6 +54,7 @@ def int_to_fp(value, width, signed, fmt, rm):
     return round_to_format(Fraction(value), fmt, rm, zero_sign=sign)
 
 
+@memoize_fp
 def fp_to_fp(a, src_fmt, dst_fmt, rm):
     """fcvt.s.d / fcvt.d.s: conversion between formats."""
     if is_nan(a, src_fmt):

@@ -1,0 +1,278 @@
+"""Bit-identity of the optimized hot path vs the preserved reference path.
+
+The PR-5 hot-path overhaul (slot bindings + combined-index observer,
+packed memo keys, GF(2) batch fills, decode/illegal memoization, softfloat
+memoization) must not change ANY observable campaign behaviour: coverage
+series, corpus contents, LFSR stream, and the full campaign report have to
+match the pre-overhaul semantics exactly.  The pre-overhaul observation
+path is preserved (``use_reference_observer`` /
+``observe_state_reference``) and every test here runs both and compares.
+"""
+
+import pytest
+
+from repro.campaign.checkpoint import CampaignCheckpoint
+from repro.campaign.events import AsyncSink, BufferedSink, EventBus
+from repro.campaign.session import CampaignSession
+from repro.campaign.spec import CampaignSpec
+from repro.fuzzer.lfsr import Lfsr
+from repro.perf.evict import evict_half
+
+CORES = ("rocket", "cva6", "boom")
+STYLES = ("optimized", "legacy")
+
+
+def _spec(core, style):
+    return (CampaignSpec()
+            .with_fuzzer("turbofuzz", instructions_per_iteration=300)
+            .with_core(core)
+            .with_instrumentation(style=style))
+
+
+def _fingerprint(session):
+    """Everything the ISSUE's bit-identity clause names."""
+    return {
+        "coverage_series": session.coverage_series(),
+        "history": session.history_dicts(),
+        "lfsr": session.fuzzer.lfsr.state,
+        "corpus": session.fuzzer.corpus.state_dict(),
+        "counts": session.coverage.counts_by_module(),
+        "total_executed": session.total_executed,
+        "total_generated": session.total_generated,
+    }
+
+
+class TestObserverEquivalence:
+    @pytest.mark.parametrize("core", CORES)
+    @pytest.mark.parametrize("style", STYLES)
+    def test_fast_path_matches_reference(self, core, style):
+        fast = CampaignSession(_spec(core, style))
+        fast.run_iterations(6)
+
+        reference = CampaignSession(_spec(core, style))
+        reference.core.use_reference_observer(True)
+        reference.run_iterations(6)
+
+        assert _fingerprint(fast) == _fingerprint(reference)
+
+    def test_switching_mid_campaign_is_seamless(self):
+        """Reference and fast paths interleave without divergence."""
+        mixed = CampaignSession(_spec("rocket", "optimized"))
+        for index in range(8):
+            mixed.core.use_reference_observer(index % 2 == 0)
+            mixed.run_iterations(1)
+
+        fast = CampaignSession(_spec("rocket", "optimized"))
+        fast.run_iterations(8)
+        assert _fingerprint(mixed) == _fingerprint(fast)
+
+    @pytest.mark.parametrize("core", CORES)
+    def test_resume_from_checkpoint_matches_uninterrupted(self, core):
+        straight = CampaignSession(_spec(core, "optimized"))
+        straight.run_iterations(8)
+
+        first_leg = CampaignSession(_spec(core, "optimized"))
+        first_leg.run_iterations(4)
+        checkpoint = CampaignCheckpoint.capture(first_leg)
+        resumed = CampaignCheckpoint.from_json(checkpoint.to_json()).restore()
+        resumed.run_iterations(4)
+        assert _fingerprint(resumed) == _fingerprint(straight)
+
+    def test_resume_into_reference_observer_matches(self):
+        """A checkpoint taken on the fast path resumes bit-identically
+        even if the resumed session observes via the reference path."""
+        straight = CampaignSession(_spec("rocket", "legacy"))
+        straight.run_iterations(6)
+
+        first_leg = CampaignSession(_spec("rocket", "legacy"))
+        first_leg.run_iterations(3)
+        resumed = CampaignCheckpoint.capture(first_leg).restore()
+        resumed.core.use_reference_observer(True)
+        resumed.run_iterations(3)
+        assert _fingerprint(resumed) == _fingerprint(straight)
+
+
+class TestLfsrBatchEquivalence:
+    def test_fill_bytes_matches_wordwise_stream(self):
+        for seed in (1, 0xDEAD_BEEF, (1 << 64) - 1):
+            for count in (0, 1, 7, 8, 9, 255, 2047, 2048, 16384, 16385):
+                reference = Lfsr(seed)
+                out = bytearray()
+                while len(out) < count:
+                    out.extend(reference.next().to_bytes(8, "little"))
+                batched = Lfsr(seed)
+                assert batched.fill_bytes(count) == bytes(out[:count])
+                if count:
+                    # The draw stream continues exactly where the
+                    # word-wise stream would.
+                    advanced = Lfsr(seed)
+                    for _ in range((count + 7) // 8):
+                        advanced.next()
+                    assert batched.state == advanced.state
+
+    def test_fill_words_matches_next(self):
+        batched = Lfsr(42)
+        stepped = Lfsr(42)
+        assert batched.fill_words(100) == [stepped.next() for _ in range(100)]
+
+
+class TestBoundedCaches:
+    def test_decoder_caches_stay_bounded(self):
+        from repro.isa import decoder
+
+        original_limit = decoder._CACHE_LIMIT
+        decoder._CACHE_LIMIT = 64
+        decoder._CACHE.clear()
+        decoder._ILLEGAL_CACHE.clear()
+        try:
+            for index in range(500):
+                # addi with varying immediates: distinct legal words.
+                decoder.try_decode(0x00000013 | ((index & 0xFFF) << 20)
+                                   | ((index & 0x1F) << 7))
+                # Distinct illegal words populate the illegal memo.
+                decoder.try_decode(0x0000007F | (index << 15))
+                assert len(decoder._CACHE) <= 64
+                assert len(decoder._ILLEGAL_CACHE) <= 64
+        finally:
+            decoder._CACHE_LIMIT = original_limit
+
+    def test_decoder_caches_serve_identical_results(self):
+        from repro.isa.decoder import try_decode
+
+        word = 0x00A3_0313  # addi t1, t1, 10
+        first = try_decode(word)
+        assert try_decode(word) is first
+        assert try_decode(0xFFFF_FFFF) is None
+        assert try_decode(0xFFFF_FFFF) is None  # memoized-illegal path
+
+    def test_evict_half_dict_drops_oldest(self):
+        cache = {index: index for index in range(10)}
+        assert evict_half(cache) == 5
+        assert sorted(cache) == [5, 6, 7, 8, 9]
+
+    def test_evict_half_set_and_tiny(self):
+        assert evict_half({}) == 0
+        assert evict_half({1: 1}) == 0
+        seen = set(range(10))
+        assert evict_half(seen) == 5
+        assert len(seen) == 5
+
+
+class TestEventBusFastPath:
+    def test_publish_without_subscribers_counts_only(self):
+        bus = EventBus()
+        bus.publish("iteration", session=None)
+        assert bus.emitted["iteration"] == 1
+        assert not bus.has_subscribers("iteration")
+
+    def test_subscribe_flips_fast_path_flag(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe("milestone", lambda **p: seen.append(p))
+        assert bus.has_subscribers("milestone")
+        bus.milestone("campaign_start")
+        assert seen and seen[0]["kind"] == "campaign_start"
+        unsubscribe()
+        assert not bus.has_subscribers("milestone")
+        bus.milestone("ignored")
+        assert len(seen) == 1
+        assert bus.emitted["milestone"] == 2
+
+    def test_buffered_sink_flushes_in_batches(self):
+        batches = []
+        sink = BufferedSink(batches.append, capacity=3)
+        bus = EventBus()
+        bus.subscribe("iteration", sink.push)
+        for index in range(7):
+            bus.emit("iteration", index=index)
+        assert [len(batch) for batch in batches] == [3, 3]
+        assert len(sink) == 1
+        sink.close()
+        assert [len(batch) for batch in batches] == [3, 3, 1]
+        assert batches[0][0] == {"index": 0}
+
+    def test_async_sink_consumes_without_blocking(self):
+        consumed = []
+        with AsyncSink(consumed.append, max_pending=16) as sink:
+            bus = EventBus()
+            bus.subscribe("new_coverage", sink.push)
+            for index in range(10):
+                bus.emit("new_coverage", index=index)
+        assert [payload["index"] for payload in consumed] == list(range(10))
+        assert sink.dropped == 0
+
+    def test_async_sink_survives_consumer_exceptions(self):
+        consumed = []
+
+        def flaky(payload):
+            if payload["index"] % 2:
+                raise RuntimeError("sink hiccup")
+            consumed.append(payload)
+
+        with AsyncSink(flaky, max_pending=16) as sink:
+            for index in range(6):
+                sink.push(index=index)
+        assert sink.errors == 3
+        assert [payload["index"] for payload in consumed] == [0, 2, 4]
+
+    def test_cached_illegal_raise_does_not_grow_traceback(self):
+        from repro.isa.decoder import IllegalInstruction, decode
+
+        word = 0xFFFF_FFFF
+        depths = []
+        for _ in range(3):
+            try:
+                decode(word)
+            except IllegalInstruction as error:
+                depth = 0
+                traceback = error.__traceback__
+                while traceback is not None:
+                    depth += 1
+                    traceback = traceback.tb_next
+                depths.append(depth)
+        assert depths[0] == depths[1] == depths[2]
+
+    def test_async_sink_sheds_oldest_under_backpressure(self):
+        import threading
+
+        gate = threading.Event()
+        consumed = []
+
+        def slow_consume(payload):
+            gate.wait(5.0)
+            consumed.append(payload)
+
+        sink = AsyncSink(slow_consume, max_pending=2)
+        for index in range(8):
+            sink.push(index=index)
+        gate.set()
+        sink.close()
+        assert sink.dropped > 0
+        assert sink.dropped + len(consumed) == 8
+
+
+class TestPerfHarnessPlumbing:
+    def test_flat_metrics_and_compare(self):
+        from repro.perf.baseline import compare
+
+        baseline = {"metrics": {"macro.speedup_vs_reference": 2.0}}
+        ok = compare({"macro.speedup_vs_reference": 1.95}, baseline,
+                     metrics=("macro.speedup_vs_reference",))
+        assert ok == []
+        bad = compare({"macro.speedup_vs_reference": 1.5}, baseline,
+                      metrics=("macro.speedup_vs_reference",))
+        assert bad and bad[0]["metric"] == "macro.speedup_vs_reference"
+        missing = compare({}, baseline,
+                          metrics=("macro.speedup_vs_reference",))
+        assert missing and missing[0]["reason"] == "metric missing"
+
+    def test_reenact_pre_overhaul_restores(self):
+        from repro.fuzzer.lfsr import Lfsr as LfsrClass
+        from repro.perf.reference import reenact_pre_overhaul
+
+        original = LfsrClass.fill_bytes
+        with reenact_pre_overhaul():
+            assert LfsrClass.fill_bytes is not original
+            # Re-enacted path produces the identical byte stream.
+            assert Lfsr(7).fill_bytes(1000) == original(Lfsr(7), 1000)
+        assert LfsrClass.fill_bytes is original
