@@ -1,0 +1,49 @@
+"""Accepted-findings baseline: ``.analyze-baseline.json``.
+
+The baseline records fingerprints (``rule::relpath::symbol``) of
+findings the team has explicitly accepted, so ``check`` fails only on
+*new* findings.  Fingerprints deliberately omit line numbers — moving
+code around does not invalidate an acceptance; renaming the symbol or
+fixing the finding does.  The file is committed and updated via
+``python -m repro.analyze update-baseline``.
+"""
+
+import json
+import os
+
+BASELINE_FILENAME = ".analyze-baseline.json"
+_SCHEMA_VERSION = 1
+
+
+def load_baseline(path):
+    """Fingerprint set from ``path``; empty set if the file is absent."""
+    if path is None or not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baseline schema {data.get('schema')!r} in {path} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    return set(data.get("accepted", ()))
+
+
+def save_baseline(findings, path):
+    """Write the fingerprints of ``findings`` as the new baseline."""
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "accepted": sorted({f.fingerprint for f in findings}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def split_by_baseline(findings, accepted):
+    """(new, baselined) partition of ``findings`` against ``accepted``."""
+    new, baselined = [], []
+    for finding in findings:
+        (baselined if finding.fingerprint in accepted else new).append(finding)
+    return new, baselined

@@ -1,0 +1,125 @@
+"""CLI for the static analyzer.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.analyze check src/
+    PYTHONPATH=src python -m repro.analyze report --select HOT src/
+    PYTHONPATH=src python -m repro.analyze report --json src/
+    PYTHONPATH=src python -m repro.analyze check --ignore DET005 src/
+    PYTHONPATH=src python -m repro.analyze update-baseline src/
+    PYTHONPATH=src python -m repro.analyze rules
+
+``check`` exits 1 when any finding is not covered by the committed
+baseline (``.analyze-baseline.json``); ``report`` always exits 0 and is
+for humans (or ``--json`` consumers).
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analyze.baseline import (
+    BASELINE_FILENAME,
+    load_baseline,
+    save_baseline,
+    split_by_baseline,
+)
+from repro.analyze.engine import analyze_paths, rule_catalog
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Invariant-enforcing static analysis: checkpoint "
+                    "protocol, determinism, hot-path allocations, registry "
+                    "hygiene.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scan_args(cmd):
+        cmd.add_argument("paths", nargs="+",
+                         help="files or directories to scan")
+        cmd.add_argument("--select", action="append", default=None,
+                         metavar="PREFIX",
+                         help="only run rules matching this id prefix "
+                              "(repeatable: --select CHK --select HOT002)")
+        cmd.add_argument("--ignore", action="append", default=None,
+                         metavar="PREFIX",
+                         help="skip rules matching this id prefix "
+                              "(repeatable)")
+        cmd.add_argument("--root", default=None,
+                         help="anchor for relative paths / fingerprints "
+                              "(default: common parent of scanned files)")
+        cmd.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit findings as a JSON array")
+
+    check = sub.add_parser(
+        "check", help="scan and fail (exit 1) on non-baselined findings")
+    add_scan_args(check)
+    check.add_argument("--baseline", default=BASELINE_FILENAME,
+                       help=f"baseline file (default: {BASELINE_FILENAME}; "
+                            f"'none' disables)")
+
+    report = sub.add_parser(
+        "report", help="scan and print every finding (always exit 0)")
+    add_scan_args(report)
+
+    update = sub.add_parser(
+        "update-baseline",
+        help="scan and accept all current findings into the baseline")
+    add_scan_args(update)
+    update.add_argument("--baseline", default=BASELINE_FILENAME)
+
+    sub.add_parser("rules", help="list the rule catalog")
+    return parser
+
+
+def _emit(findings, as_json):
+    if as_json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+
+
+def main(argv=None):
+    args = _parser().parse_args(argv)
+
+    if args.command == "rules":
+        for rule in rule_catalog():
+            scope = " [project]" if rule.scope == "project" else ""
+            print(f"{rule.rule_id}{scope}  {rule.summary}")
+        return 0
+
+    findings = analyze_paths(args.paths, select=args.select,
+                             ignore=args.ignore, root=args.root)
+
+    if args.command == "report":
+        _emit(findings, args.as_json)
+        if not args.as_json:
+            print(f"{len(findings)} finding(s)")
+        return 0
+
+    if args.command == "update-baseline":
+        path = save_baseline(findings, args.baseline)
+        print(f"baseline written: {path} ({len(findings)} accepted)")
+        _emit(findings, args.as_json)
+        return 0
+
+    # check
+    baseline_path = None if args.baseline == "none" else args.baseline
+    accepted = load_baseline(baseline_path)
+    new, baselined = split_by_baseline(findings, accepted)
+    _emit(new, args.as_json)
+    if new:
+        if not args.as_json:
+            print(f"{len(new)} new finding(s) "
+                  f"({len(baselined)} baselined)", file=sys.stderr)
+            print("fix them, suppress inline with '# analyze: ignore[RULE] "
+                  "reason', or accept via 'python -m repro.analyze "
+                  "update-baseline'", file=sys.stderr)
+        return 1
+    if not args.as_json:
+        print(f"analyze OK ({len(baselined)} baselined finding(s))"
+              if baselined else "analyze OK")
+    return 0

@@ -1,0 +1,245 @@
+"""Rule engine: source loading, suppression parsing, rule dispatch.
+
+A *rule* is a callable ``rule(module) -> iterable[Finding]`` for
+per-module rules, or ``rule(modules) -> iterable[Finding]`` for
+project-scope rules (``scope="project"``) that need to see the whole
+scanned tree at once (e.g. cross-file registry-name collisions).  Rules
+register themselves in the :data:`RULES` registry — the same generic
+``Registry`` that backs fuzzers, cores, and backends — via
+:func:`register_rule`, so adding a rule is declaring a function.
+
+Suppressions are inline comments::
+
+    rng = random.Random(self.seed)  # analyze: ignore[DET002] seeded, deterministic
+
+    # analyze: ignore[HOT005] trap dispatch is the cold branch
+    try:
+
+A suppression applies to findings on its own line or the line directly
+below (so it can sit above a long statement).  ``ignore[*]`` suppresses
+every rule on that line.  Project-wide acceptance of pre-existing
+findings lives in ``.analyze-baseline.json`` (see
+:mod:`repro.analyze.baseline`), not here.
+"""
+
+import ast
+import io
+import os
+import re
+import tokenize
+
+from repro.analyze.findings import Finding
+from repro.registry import Registry
+
+RULES = Registry("analyze rule")
+
+_SUPPRESS_RE = re.compile(r"analyze:\s*ignore\[([^\]]*)\]")
+
+#: Path segments that put a module on the "reproducible path" — the DET
+#: rules only fire inside these packages.
+REPRODUCIBLE_SEGMENTS = frozenset(
+    {"ref", "dut", "fuzzer", "coverage", "campaign"}
+)
+
+
+class Rule:
+    """A registered rule: id, summary, family, scope, and the check."""
+
+    __slots__ = ("rule_id", "summary", "scope", "check")
+
+    def __init__(self, rule_id, summary, scope, check):
+        self.rule_id = rule_id
+        self.summary = summary
+        self.scope = scope
+        self.check = check
+
+    @property
+    def family(self):
+        return self.rule_id.rstrip("0123456789")
+
+
+def register_rule(rule_id, summary, scope="module"):
+    """Decorator: register ``check`` under ``rule_id`` in :data:`RULES`."""
+    if scope not in ("module", "project"):
+        raise ValueError(f"unknown rule scope {scope!r}")
+
+    def deco(check):
+        RULES.register(rule_id, Rule(rule_id, summary, scope, check))
+        return check
+
+    return deco
+
+
+def rule_catalog():
+    """All registered rules, sorted by id."""
+    _load_builtin_rules()
+    return [RULES.get(rule_id) for rule_id in RULES.names()]
+
+
+class SourceModule:
+    """A parsed source file plus everything rules need to know about it."""
+
+    def __init__(self, path, source, root=None):
+        self.path = os.path.abspath(path)
+        self.source = source
+        self.root = os.path.abspath(root) if root else None
+        if self.root:
+            self.relpath = os.path.relpath(self.path, self.root).replace(os.sep, "/")
+        else:
+            self.relpath = os.path.basename(self.path)
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = _parse_suppressions(source)
+        parts = self.relpath.split("/")
+        self.path_segments = frozenset(parts[:-1])
+        self.on_reproducible_path = bool(
+            self.path_segments & REPRODUCIBLE_SEGMENTS
+        )
+
+    def is_suppressed(self, rule_id, line):
+        """True if ``rule_id`` is suppressed at ``line`` (same line or above)."""
+        for probe in (line, line - 1):
+            rules = self.suppressions.get(probe)
+            if rules is not None and ("*" in rules or rule_id in rules):
+                return True
+        return False
+
+    def finding(self, rule_id, message, node, symbol=""):
+        return Finding(
+            rule=rule_id,
+            message=message,
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            symbol=symbol,
+            relpath=self.relpath,
+        )
+
+
+def _parse_suppressions(source):
+    """Map line number -> set of suppressed rule ids (or {"*"})."""
+    suppressions = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            rules = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            } or {"*"}
+            suppressions.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass
+    return suppressions
+
+
+def collect_modules(paths, root=None):
+    """Parse every ``.py`` file under ``paths`` into ``SourceModule``s.
+
+    ``root`` anchors relative paths (and therefore baseline
+    fingerprints); it defaults to the common parent of ``paths``.
+    Unparseable files yield a synthetic E001 finding instead of
+    aborting the whole scan.
+    """
+    files = []
+    for path in paths:
+        path = os.path.abspath(path)
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in ("__pycache__", ".git", ".hypothesis")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+    if root is None:
+        root = _common_root(files)
+    modules, errors = [], []
+    for path in files:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            modules.append(SourceModule(path, source, root=root))
+        except SyntaxError as exc:
+            errors.append(Finding(
+                rule="E001",
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                relpath=os.path.relpath(path, root).replace(os.sep, "/"),
+            ))
+    return modules, errors
+
+
+def _common_root(files):
+    if not files:
+        return os.getcwd()
+    root = os.path.commonpath([os.path.dirname(f) for f in files] or [os.getcwd()])
+    return root or os.getcwd()
+
+
+def _selected(rule, select, ignore):
+    rid = rule.rule_id
+    if select:
+        if not any(rid.startswith(prefix) for prefix in select):
+            return False
+    if ignore:
+        if any(rid.startswith(prefix) for prefix in ignore):
+            return False
+    return True
+
+
+def analyze_paths(paths, select=None, ignore=None, root=None):
+    """Run every selected rule over every module under ``paths``.
+
+    ``select``/``ignore`` are sequences of rule-id prefixes ("CHK",
+    "HOT002", ...); select narrows first, then ignore drops.  Returns a
+    sorted list of :class:`Finding` (inline suppressions already
+    applied; baseline filtering is the caller's job).
+    """
+    _load_builtin_rules()
+    modules, findings = collect_modules(paths, root=root)
+    rules = [RULES.get(rule_id) for rule_id in RULES.names()]
+    rules = [rule for rule in rules if _selected(rule, select, ignore)]
+
+    for rule in rules:
+        if rule.scope == "project":
+            findings.extend(rule.check(modules))
+        else:
+            for module in modules:
+                findings.extend(rule.check(module))
+
+    kept = []
+    by_path = {module.path: module for module in modules}
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None and module.is_suppressed(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return kept
+
+
+_BUILTINS_LOADED = False
+
+
+def _load_builtin_rules():
+    """Import the rule modules exactly once (they self-register)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.analyze.rules import (  # noqa: F401
+        checkpoint,
+        determinism,
+        hotpath,
+        registry_hygiene,
+    )

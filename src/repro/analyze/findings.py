@@ -1,0 +1,46 @@
+"""The ``Finding`` model shared by every rule, the CLI, and the baseline."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``fingerprint`` identifies the finding across line-number churn —
+    it hashes the rule, the file (repo-relative when known), and the
+    enclosing symbol rather than the line — so baselines survive
+    unrelated edits to the same file.
+    """
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    symbol: str = ""
+    relpath: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self):
+        where = self.relpath or self.path
+        return f"{self.rule}::{where}::{self.symbol}"
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.relpath or self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }
+
+    def format(self):
+        where = self.relpath or self.path
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}:{self.line}:{self.col}: {self.rule}{sym} {self.message}"
+
+    def sort_key(self):
+        return (self.relpath or self.path, self.line, self.col, self.rule)

@@ -1,0 +1,25 @@
+"""Zero-dependency markers consumed by the static analyzer.
+
+This module is imported by production code on the hot path (``dut``,
+``ref``, ``coverage``, ``fuzzer``), so it must stay free of imports and
+side effects: marking a function must cost one attribute write at
+definition time and nothing per call.
+"""
+
+HOT_PATH_ATTR = "__hot_path__"
+
+
+def hot_path(fn):
+    """Mark ``fn`` as hot-path: called per instruction or per draw.
+
+    The marker is a contract with ``repro.analyze``'s allocation guard
+    (HOT0xx rules): the function body must not allocate per call — no
+    comprehensions, collection displays/constructors, closures,
+    f-strings, or try/except control flow.  The decorator itself is a
+    no-op at runtime beyond tagging the function object.
+    """
+    try:
+        setattr(fn, HOT_PATH_ATTR, True)
+    except (AttributeError, TypeError):  # e.g. slotted callables
+        pass
+    return fn

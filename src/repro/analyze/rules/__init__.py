@@ -1,0 +1,1 @@
+"""Built-in rule families; each module self-registers into ``RULES``."""

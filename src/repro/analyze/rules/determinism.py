@@ -1,0 +1,205 @@
+"""DET — determinism lint for the reproducible path.
+
+A campaign must replay bit-identically from (seed, spec) and from any
+checkpoint, so modules inside ``ref/``, ``dut/``, ``fuzzer/``,
+``coverage/``, and ``campaign/`` must not consult wall-clock time, the
+stdlib PRNG (all randomness flows through the checkpointable ``Lfsr``),
+object identity, unordered-set iteration order, or the process
+environment.  Modules outside those path segments are not checked.
+
+* **DET001** — ``time``/``datetime`` import or ``time.*()`` call.
+* **DET002** — ``random``/``secrets``/``uuid`` import or ``random.*()``
+  call (use ``repro.fuzzer.lfsr.Lfsr``).
+* **DET003** — ``id(...)`` used as a mapping key or in a comparison:
+  object identity varies run to run.
+* **DET004** — iterating a set expression into ordered output
+  (``list(set(...))``, ``sorted`` is fine; ``for x in {...}`` /
+  ``"".join(set(...))`` / ``tuple(set(...))`` / ``enumerate(set(...))``
+  are not).
+* **DET005** — ``os.environ`` / ``os.getenv`` read: behaviour must not
+  depend on the caller's environment.
+"""
+
+import ast
+
+from repro.analyze.engine import register_rule
+
+_TIME_MODULES = frozenset({"time", "datetime"})
+_RANDOM_MODULES = frozenset({"random", "secrets", "uuid"})
+
+#: Consumers that expose set iteration order in their output.  ``sorted``
+#: and ``len``/``min``/``max``/``sum``/``any``/``all`` are order-safe.
+_ORDER_EXPOSING_CALLS = frozenset({"list", "tuple", "iter", "enumerate"})
+
+
+def _enclosing_symbols(tree):
+    """Map id(node) -> dotted symbol of the enclosing def/class."""
+    symbols = {}
+
+    def visit(node, stack):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            stack = stack + [node.name]
+        for child in ast.iter_child_nodes(node):
+            symbols[id(child)] = ".".join(stack)
+            visit(child, stack)
+
+    visit(tree, [])
+    return symbols
+
+
+def _symbol(symbols, node):
+    return symbols.get(id(node), "")
+
+
+def _banned_imports(module, modules, rule_id, hint):
+    symbols = _enclosing_symbols(module.tree)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top in modules:
+                    yield module.finding(
+                        rule_id,
+                        f"import of {alias.name!r} on the reproducible path "
+                        f"({hint})",
+                        node, symbol=_symbol(symbols, node) or alias.name,
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            top = (node.module or "").split(".")[0]
+            if top in modules:
+                yield module.finding(
+                    rule_id,
+                    f"import from {node.module!r} on the reproducible path "
+                    f"({hint})",
+                    node, symbol=_symbol(symbols, node) or top,
+                )
+
+
+@register_rule("DET001", "wall-clock use on the reproducible path")
+def check_time(module):
+    if not module.on_reproducible_path:
+        return
+    yield from _banned_imports(
+        module, _TIME_MODULES, "DET001",
+        "wall-clock state breaks bit-identical replay; use the campaign's "
+        "VirtualClock",
+    )
+
+
+@register_rule("DET002", "stdlib PRNG use on the reproducible path")
+def check_random(module):
+    if not module.on_reproducible_path:
+        return
+    yield from _banned_imports(
+        module, _RANDOM_MODULES, "DET002",
+        "all randomness must flow through the checkpointable Lfsr",
+    )
+
+
+@register_rule("DET003", "id()-keyed lookup on the reproducible path")
+def check_id_keys(module):
+    if not module.on_reproducible_path:
+        return
+    symbols = _enclosing_symbols(module.tree)
+    for node in ast.walk(module.tree):
+        # d[id(x)], d[id(x)] = ..., and {id(x): ...} literals.
+        if isinstance(node, ast.Subscript) and _is_id_call(node.slice):
+            yield module.finding(
+                "DET003",
+                "id() used as a mapping key: object identity is not stable "
+                "across runs",
+                node, symbol=_symbol(symbols, node),
+            )
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None and _is_id_call(key):
+                    yield module.finding(
+                        "DET003",
+                        "id() used as a dict-literal key: object identity is "
+                        "not stable across runs",
+                        key, symbol=_symbol(symbols, node),
+                    )
+        elif isinstance(node, ast.Compare) and (
+                _is_id_call(node.left)
+                or any(_is_id_call(c) for c in node.comparators)):
+            yield module.finding(
+                "DET003",
+                "id() used in a comparison: object identity is not stable "
+                "across runs",
+                node, symbol=_symbol(symbols, node),
+            )
+
+
+def _is_id_call(node):
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id")
+
+
+def _is_set_expr(node):
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")):
+        return True
+    return False
+
+
+@register_rule("DET004", "set iteration feeding ordered output")
+def check_set_iteration(module):
+    if not module.on_reproducible_path:
+        return
+    symbols = _enclosing_symbols(module.tree)
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+            yield module.finding(
+                "DET004",
+                "iterating a set expression: iteration order is "
+                "hash-randomized; wrap in sorted(...)",
+                node.iter, symbol=_symbol(symbols, node),
+            )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Name)
+                    and func.id in _ORDER_EXPOSING_CALLS
+                    and node.args and _is_set_expr(node.args[0])):
+                yield module.finding(
+                    "DET004",
+                    f"{func.id}(set-expression) exposes hash-randomized set "
+                    f"order; wrap in sorted(...)",
+                    node, symbol=_symbol(symbols, node),
+                )
+            elif (isinstance(func, ast.Attribute) and func.attr == "join"
+                    and node.args and _is_set_expr(node.args[0])):
+                yield module.finding(
+                    "DET004",
+                    "str.join over a set expression exposes hash-randomized "
+                    "set order; wrap in sorted(...)",
+                    node, symbol=_symbol(symbols, node),
+                )
+        elif isinstance(node, (ast.comprehension,)) and _is_set_expr(node.iter):
+            yield module.finding(
+                "DET004",
+                "comprehension over a set expression: iteration order is "
+                "hash-randomized; wrap in sorted(...)",
+                node.iter, symbol=_symbol(symbols, node.iter),
+            )
+
+
+@register_rule("DET005", "environment read on the reproducible path")
+def check_environ(module):
+    if not module.on_reproducible_path:
+        return
+    symbols = _enclosing_symbols(module.tree)
+    for node in ast.walk(module.tree):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os"
+                and node.attr in ("environ", "getenv")):
+            yield module.finding(
+                "DET005",
+                f"os.{node.attr} read on the reproducible path: behaviour "
+                f"must depend only on (seed, spec)",
+                node, symbol=_symbol(symbols, node),
+            )

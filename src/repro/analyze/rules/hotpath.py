@@ -1,0 +1,210 @@
+"""HOT — allocation guard for ``@hot_path``-marked functions.
+
+PR 5's 1.6-1.9x speedup came from making the per-instruction loop
+allocation-free; these rules keep it that way.  A function decorated
+with :func:`repro.analyze.markers.hot_path` (any decorator spelled
+``hot_path`` or ``...hot_path``) must not contain:
+
+* **HOT001** — comprehensions / generator expressions (allocate a new
+  container or generator frame per call).
+* **HOT002** — collection displays (``[...]``, ``{...}``, non-constant
+  ``(...)``) or ``dict()``/``list()``/``set()``/``tuple()`` constructor
+  calls.  Tuples of compile-time constants are exempt: CPython folds
+  them into ``co_consts``, so they cost nothing per call.
+* **HOT003** — nested ``def`` / ``lambda`` (allocates a function object,
+  and usually a closure cell, per call).
+* **HOT004** — f-strings, ``str.format``, ``%``-formatting on string
+  literals (allocate the formatted string per call).
+* **HOT005** — ``try``/``except`` blocks (zero-cost until raised, but a
+  raise in the hot loop allocates the exception and traceback; keep
+  trap-style dispatch out of marked functions or suppress with a
+  justification).
+
+Nested functions are not scanned beyond being flagged by HOT003 — the
+closure itself is the allocation.
+"""
+
+import ast
+
+from repro.analyze.engine import register_rule
+
+_CONSTRUCTOR_CALLS = frozenset({"dict", "list", "set", "tuple", "frozenset"})
+
+
+def _is_hot_path_decorator(node):
+    if isinstance(node, ast.Name):
+        return node.id == "hot_path"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "hot_path"
+    if isinstance(node, ast.Call):
+        return _is_hot_path_decorator(node.func)
+    return False
+
+
+def _hot_functions(tree):
+    """Yield (qualname, func node) for every @hot_path function."""
+    def visit(node, stack):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = ".".join(stack + [child.name])
+                if any(_is_hot_path_decorator(d) for d in child.decorator_list):
+                    yield qual, child
+                yield from visit(child, stack + [child.name])
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, stack + [child.name])
+            else:
+                yield from visit(child, stack)
+
+    yield from visit(tree, [])
+
+
+def _body_nodes(func):
+    """Walk the function body, skipping nested function/lambda bodies.
+
+    The nested callable is flagged once by HOT003; its body runs only
+    when called, which is the nested function's problem, not this one's.
+    Decorators and default-argument expressions of nested defs still
+    execute in the outer frame, so they are walked.
+    """
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(node.decorator_list)
+            stack.extend(node.args.defaults)
+            stack.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        if isinstance(node, ast.Lambda):
+            stack.extend(node.args.defaults)
+            stack.extend(d for d in node.args.kw_defaults if d is not None)
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _all_constants(node):
+    """True if every element of a tuple display is a compile-time constant."""
+    for element in node.elts:
+        if isinstance(element, ast.Constant):
+            continue
+        if isinstance(element, ast.Tuple) and _all_constants(element):
+            continue
+        if (isinstance(element, ast.UnaryOp)
+                and isinstance(element.operand, ast.Constant)):
+            continue
+        return False
+    return True
+
+
+def _check_hot_body(module, qual, func):
+    for node in _body_nodes(func):
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            kind = type(node).__name__
+            yield module.finding(
+                "HOT001",
+                f"{kind} allocates per call in hot-path function {qual}()",
+                node, symbol=qual,
+            )
+        elif isinstance(node, (ast.List, ast.Set, ast.Dict)):
+            kind = {"List": "list", "Set": "set", "Dict": "dict"}[
+                type(node).__name__]
+            yield module.finding(
+                "HOT002",
+                f"{kind} display allocates per call in hot-path function "
+                f"{qual}()",
+                node, symbol=qual,
+            )
+        elif isinstance(node, ast.Tuple) and isinstance(node.ctx, ast.Load):
+            if not _all_constants(node):
+                yield module.finding(
+                    "HOT002",
+                    f"non-constant tuple display allocates per call in "
+                    f"hot-path function {qual}() (all-constant tuples are "
+                    f"folded by the compiler and exempt)",
+                    node, symbol=qual,
+                )
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (isinstance(callee, ast.Name)
+                    and callee.id in _CONSTRUCTOR_CALLS):
+                yield module.finding(
+                    "HOT002",
+                    f"{callee.id}() constructor allocates per call in "
+                    f"hot-path function {qual}()",
+                    node, symbol=qual,
+                )
+            elif (isinstance(callee, ast.Attribute)
+                    and callee.attr == "format"
+                    and isinstance(callee.value, ast.Constant)
+                    and isinstance(callee.value.value, str)):
+                yield module.finding(
+                    "HOT004",
+                    f"str.format allocates per call in hot-path function "
+                    f"{qual}()",
+                    node, symbol=qual,
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.Lambda)):
+            what = ("lambda" if isinstance(node, ast.Lambda)
+                    else f"nested def {node.name}")
+            yield module.finding(
+                "HOT003",
+                f"{what} allocates a function object per call in hot-path "
+                f"function {qual}()",
+                node, symbol=qual,
+            )
+        elif isinstance(node, ast.JoinedStr):
+            yield module.finding(
+                "HOT004",
+                f"f-string allocates per call in hot-path function {qual}()",
+                node, symbol=qual,
+            )
+        elif (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod)
+                and isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)):
+            yield module.finding(
+                "HOT004",
+                f"%-formatting allocates per call in hot-path function "
+                f"{qual}()",
+                node, symbol=qual,
+            )
+        elif isinstance(node, (ast.Try,)):
+            yield module.finding(
+                "HOT005",
+                f"try/except in hot-path function {qual}(): a raise here "
+                f"allocates the exception and traceback per occurrence",
+                node, symbol=qual,
+            )
+
+
+def _run_family(module, rule_ids):
+    for qual, func in _hot_functions(module.tree):
+        for finding in _check_hot_body(module, qual, func):
+            if finding.rule in rule_ids:
+                yield finding
+
+
+@register_rule("HOT001", "comprehension in @hot_path function")
+def check_comprehensions(module):
+    yield from _run_family(module, ("HOT001",))
+
+
+@register_rule("HOT002", "collection display/constructor in @hot_path function")
+def check_displays(module):
+    yield from _run_family(module, ("HOT002",))
+
+
+@register_rule("HOT003", "closure allocation in @hot_path function")
+def check_closures(module):
+    yield from _run_family(module, ("HOT003",))
+
+
+@register_rule("HOT004", "string formatting in @hot_path function")
+def check_formatting(module):
+    yield from _run_family(module, ("HOT004",))
+
+
+@register_rule("HOT005", "try/except in @hot_path function")
+def check_try(module):
+    yield from _run_family(module, ("HOT005",))

@@ -1,0 +1,259 @@
+"""REG — registry hygiene for the ``@register_*`` plugin surface.
+
+PR 1 made fuzzers, cores, timing models, backends, and instrumentations
+registry-driven; these rules keep the plugin surface honest.  The first
+two are pure AST checks; the introspection checks (REG003/REG005) run
+the live registries, so they only fire when the scan actually covers
+the ``repro`` package itself — fixture trees in tests never trip them.
+
+* **REG001** — two ``@register_*("name")`` decorations with the same
+  literal name for the same registrar without ``replace=True``
+  (project scope: collisions across files are the dangerous ones).
+* **REG002** — a ``@register_*`` decoration on a nested (non-top-level)
+  def/class: the target is not importable by name, so a campaign spec
+  naming it cannot be reconstructed in a fresh process.
+* **REG003** — live check: every name in every known registry resolves
+  via ``get()`` and the entry (or its plugin payload) is importable —
+  i.e. reachable under its ``__module__.__qualname__``.
+* **REG005** — live check: ``CampaignSpec`` survives a
+  ``to_dict -> json -> from_dict`` round trip and every registered
+  plugin's ``build_config({})`` produces a config (spec classes stay
+  constructible from serialized form).
+"""
+
+import ast
+import importlib
+import json
+
+from repro.analyze.engine import register_rule
+from repro.analyze.findings import Finding
+
+_REGISTER_PREFIX = "register_"
+
+
+def _register_name(decorator):
+    """(registrar, literal-name, has-replace) for ``@register_*`` calls."""
+    if not isinstance(decorator, ast.Call):
+        return None
+    func = decorator.func
+    if isinstance(func, ast.Attribute):
+        registrar = func.attr
+    elif isinstance(func, ast.Name):
+        registrar = func.id
+    else:
+        return None
+    if not (registrar.startswith(_REGISTER_PREFIX)
+            or registrar == "register"):
+        return None
+    name = None
+    if decorator.args:
+        first = decorator.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            name = first.value
+    replace = any(
+        kw.arg == "replace"
+        and isinstance(kw.value, ast.Constant) and kw.value.value
+        for kw in decorator.keywords
+    )
+    return registrar, name, replace
+
+
+def _registrations(module):
+    """Yield (registrar, name, replace, node, depth) for decorated defs."""
+    def visit(node, depth):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                for deco in child.decorator_list:
+                    reg = _register_name(deco)
+                    if reg:
+                        yield (*reg, child, depth)
+                yield from visit(child, depth + 1)
+            else:
+                yield from visit(child, depth)
+
+    yield from visit(module.tree, 0)
+
+
+@register_rule("REG001", "duplicate registry name", scope="project")
+def check_duplicate_names(modules):
+    seen = {}
+    for module in modules:
+        for registrar, name, replace, node, _depth in _registrations(module):
+            if name is None or replace:
+                continue
+            key = (registrar, name)
+            if key in seen:
+                first_module, first_node = seen[key]
+                yield module.finding(
+                    "REG001",
+                    f"@{registrar}({name!r}) collides with the registration "
+                    f"at {first_module.relpath}:{first_node.lineno} "
+                    f"(pass replace=True to shadow deliberately)",
+                    node, symbol=f"{registrar}:{name}",
+                )
+            else:
+                seen[key] = (module, node)
+
+
+@register_rule("REG002", "registry target not importable by name")
+def check_nested_registration(module):
+    # A class attribute is importable via the class, so only
+    # function-local defs are unreachable — track function nesting, not
+    # plain scope depth.
+    yield from _check_function_local(module)
+
+
+def _check_function_local(module):
+    def visit(node, inside_function):
+        for child in ast.iter_child_nodes(node):
+            is_func = isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_func or isinstance(child, ast.ClassDef):
+                if inside_function:
+                    for deco in child.decorator_list:
+                        reg = _register_name(deco)
+                        if reg:
+                            registrar, name, _replace = reg
+                            yield module.finding(
+                                "REG002",
+                                f"@{registrar} target {child.name!r} is "
+                                f"defined inside a function: it is not "
+                                f"importable by name, so a spec naming it "
+                                f"cannot be rebuilt in a fresh process",
+                                child,
+                                symbol=f"{registrar}:{name or child.name}",
+                            )
+                yield from visit(child, inside_function or is_func)
+            else:
+                yield from visit(child, inside_function)
+
+    yield from visit(module.tree, False)
+
+
+def _scans_repro(modules):
+    """True when the scan includes the live ``repro.campaign`` package."""
+    return any(m.relpath.endswith("repro/campaign/registry.py")
+               or m.relpath == "campaign/registry.py"
+               for m in modules)
+
+
+def _known_registries():
+    """(label, registry) pairs, imported lazily at check time."""
+    from repro.campaign.backends import BACKENDS
+    from repro.campaign.registry import CORES, FUZZERS, TIMINGS
+    from repro.coverage.layout import INSTRUMENTATIONS
+
+    return [
+        ("FUZZERS", FUZZERS),
+        ("CORES", CORES),
+        ("TIMINGS", TIMINGS),
+        ("BACKENDS", BACKENDS),
+        ("INSTRUMENTATIONS", INSTRUMENTATIONS),
+    ]
+
+
+def _importable(obj):
+    """True if ``obj`` is reachable under module.qualname in a fresh import."""
+    module_name = getattr(obj, "__module__", None)
+    qualname = getattr(obj, "__qualname__", None)
+    if not module_name or not qualname or "<locals>" in qualname:
+        return False
+    try:
+        target = importlib.import_module(module_name)
+    except ImportError:
+        return False
+    for part in qualname.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            return False
+    return target is obj
+
+
+def _entry_payloads(entry):
+    """Callables hiding inside a registry entry (plugin dataclass or raw)."""
+    payloads = []
+    for attr in ("factory", "cls", "build", "build_config", "builder"):
+        value = getattr(entry, attr, None)
+        if callable(value):
+            payloads.append(value)
+    if callable(entry):
+        payloads.append(entry)
+    return payloads
+
+
+@register_rule("REG003", "registry entry not importable", scope="project")
+def check_live_importability(modules):
+    if not _scans_repro(modules):
+        return
+    anchor = next(m for m in modules
+                  if m.relpath.endswith("campaign/registry.py"))
+    for label, registry in _known_registries():
+        for name in registry.names():
+            entry = registry.get(name)
+            payloads = _entry_payloads(entry)
+            if not payloads:
+                continue
+            for payload in payloads:
+                if isinstance(payload, type) or hasattr(payload, "__qualname__"):
+                    if not _importable(payload):
+                        yield Finding(
+                            rule="REG003",
+                            message=(
+                                f"{label}[{name!r}] entry "
+                                f"{getattr(payload, '__qualname__', payload)!r}"
+                                f" is not importable by name; campaign specs "
+                                f"naming it cannot be rebuilt in a fresh "
+                                f"process"
+                            ),
+                            path=anchor.path,
+                            line=1,
+                            symbol=f"{label}:{name}",
+                            relpath=anchor.relpath,
+                        )
+                    break
+
+
+@register_rule("REG005", "spec not JSON-round-trippable", scope="project")
+def check_spec_round_trip(modules):
+    if not _scans_repro(modules):
+        return
+    anchor = next(m for m in modules
+                  if m.relpath.endswith("campaign/registry.py"))
+
+    def _finding(message, symbol):
+        return Finding(
+            rule="REG005", message=message, path=anchor.path, line=1,
+            symbol=symbol, relpath=anchor.relpath,
+        )
+
+    from repro.campaign.registry import FUZZERS
+    from repro.campaign.spec import CampaignSpec
+
+    spec = CampaignSpec(name="analyze-roundtrip-probe")
+    try:
+        rebuilt = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    except (TypeError, ValueError, KeyError) as exc:
+        yield _finding(
+            f"CampaignSpec failed the to_dict -> json -> from_dict round "
+            f"trip: {exc!r}", "CampaignSpec",
+        )
+    else:
+        if rebuilt != spec:
+            yield _finding(
+                "CampaignSpec round trip is lossy: from_dict(to_dict(spec)) "
+                "!= spec", "CampaignSpec",
+            )
+
+    for name in FUZZERS.names():
+        plugin = FUZZERS.get(name)
+        build_config = getattr(plugin, "build_config", None)
+        if build_config is None:
+            continue
+        try:
+            build_config({})
+        except Exception as exc:  # noqa: BLE001 — report, don't crash the scan
+            yield _finding(
+                f"FUZZERS[{name!r}].build_config({{}}) raised {exc!r}: "
+                f"fuzzer configs must be constructible from serialized "
+                f"(dict) form", f"FUZZERS:{name}",
+            )

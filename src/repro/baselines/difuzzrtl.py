@@ -215,6 +215,7 @@ class DifuzzRtlFuzzer:
             "corpus": [[block.state_dict() for block in blocks]
                        for blocks in self.corpus],
             "iterations": self.iterations,
+            "library": self.library.state_dict(),
         }
 
     def load_state(self, state):
@@ -226,4 +227,6 @@ class DifuzzRtlFuzzer:
             for blocks in state["corpus"]
         ]
         self.iterations = int(state["iterations"])
+        if "library" in state:  # older checkpoints predate the library key
+            self.library.load_state(state["library"])
         self._pending = None

@@ -58,6 +58,7 @@ def dump_json(payload, name, directory=None):
     ``benchmarks/data``.  Output is sorted and indented so diffs are
     stable.
     """
+    # analyze: ignore[DET005] output location only; never feeds campaign state
     directory = (directory or os.environ.get("TURBOFUZZ_DATA_DIR")
                  or DEFAULT_DATA_DIR)
     os.makedirs(directory, exist_ok=True)

@@ -10,6 +10,7 @@ this mirrors how the hardware instrumentation computes the index
 combinationally for free.
 """
 
+from repro.analyze.markers import hot_path
 from repro.coverage.layout import make_layout
 from repro.coverage.map import CoverageMap
 from repro.coverage.weighting import FeedbackWeights
@@ -25,6 +26,13 @@ class ModuleCoverage:
     __slots__ = ("module", "name", "layout", "map", "tables", "pack_shifts",
                  "value_masks", "_positions", "_contribs", "index", "_memo",
                  "_reference_memo")
+
+    # Runtime caches rebuilt deterministically by execution (the running
+    # index is recomputed from register values on reset; the memo tables
+    # are pure lookup caches) — deliberately absent from state_dict().
+    _checkpoint_transient = frozenset({
+        "index", "_contribs", "_memo", "_reference_memo",
+    })
 
     def __init__(self, module, layout):
         self.module = module
@@ -51,6 +59,7 @@ class ModuleCoverage:
         self._memo = {}
         self._reference_memo = {}
 
+    @hot_path
     def observe_state(self, values, positions=None):
         """Observe a per-register value tuple (compatibility slow path).
 

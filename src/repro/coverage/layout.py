@@ -17,6 +17,7 @@ import; third-party layouts plug in with :func:`register_instrumentation`
         ...
 """
 
+# analyze: ignore[DET002] seeded Random below; placement is a pure function of the layout seed
 import random
 
 from repro.registry import Registry

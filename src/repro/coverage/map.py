@@ -1,5 +1,7 @@
 """Coverage maps: sparse sets of observed coverage-point indices."""
 
+from repro.analyze.markers import hot_path
+
 
 class CoverageMap:
     """Observed coverage points for one instrumented module.
@@ -11,6 +13,11 @@ class CoverageMap:
 
     __slots__ = ("instrumented_points", "_seen", "epoch")
 
+    # The epoch is a cache-validity counter local to this process's skip
+    # caches; a restored checkpoint must NOT carry the saving process's
+    # epoch (load_state bumps it instead, invalidating the caches).
+    _checkpoint_transient = frozenset({"epoch"})
+
     def __init__(self, instrumented_points):
         self.instrumented_points = instrumented_points
         self._seen = set()
@@ -20,6 +27,7 @@ class CoverageMap:
         # the map", which only removal can falsify).
         self.epoch = 0
 
+    @hot_path
     def observe(self, index):
         """Record an index; True when it is a newly covered point."""
         if index in self._seen:

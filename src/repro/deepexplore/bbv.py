@@ -8,7 +8,7 @@ span and coverage increment — everything stage 1 needs to rebuild the
 interval as an executable seed.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -9,8 +9,15 @@ experiments: sub-1.0 effective CPI on independent streams, heavy branch
 mispredict penalties, and unpipelined division.
 """
 
+from repro.analyze.markers import hot_path
 from repro.dut.core import CoreTiming, DutCore
 from repro.isa.instructions import Category
+
+# Module-level category groups: membership tests against these cost no
+# per-call tuple construction in the hot _update_microarch override.
+_LONG_LATENCY = frozenset({Category.DIV, Category.FP_DIV, Category.AMO})
+_LOADS = frozenset({Category.LOAD, Category.FP_LOAD})
+_STORES = frozenset({Category.STORE, Category.FP_STORE})
 
 
 class BoomCore(DutCore):
@@ -103,6 +110,7 @@ class BoomCore(DutCore):
         }
         self._mispredicts = int(state.get("mispredicts", 0))
 
+    @hot_path
     def _latency(self, record, decoded):
         cycles = super()._latency(record, decoded)
         if decoded is not None and decoded.spec.category is Category.BRANCH:
@@ -116,6 +124,7 @@ class BoomCore(DutCore):
             self._branch_predictor[record.pc] = counter
         return cycles
 
+    @hot_path
     def _update_microarch(self, record, decoded):
         super()._update_microarch(record, decoded)
         if decoded is None:
@@ -125,9 +134,9 @@ class BoomCore(DutCore):
         # ROB occupancy rises with long-latency ops in flight, falls on
         # flushes (mispredicts, traps).
         occupancy = vals["rob_occupancy"]
-        if category in (Category.DIV, Category.FP_DIV, Category.AMO):
+        if category in _LONG_LATENCY:
             occupancy = min(7, occupancy + 2)
-        elif category in (Category.LOAD, Category.FP_LOAD):
+        elif category in _LOADS:
             occupancy = min(7, occupancy + 1)
         else:
             occupancy = max(0, occupancy - 1)
@@ -142,11 +151,11 @@ class BoomCore(DutCore):
         vals["iq_int_level"] = min(7, occupancy + (1 if category is Category.ALU else 0))
         vals["iq_mem_level"] = min(3, occupancy // 2)
         vals["iq_fp_level"] = min(3, occupancy // 2 if decoded.spec.is_fp else 0)
-        if category in (Category.LOAD, Category.FP_LOAD):
+        if category in _LOADS:
             vals["ldq_level"] = min(7, vals["ldq_level"] + 1)
         else:
             vals["ldq_level"] = max(0, vals["ldq_level"] - 1)
-        if category in (Category.STORE, Category.FP_STORE):
+        if category in _STORES:
             vals["stq_level"] = min(7, vals["stq_level"] + 1)
         else:
             vals["stq_level"] = max(0, vals["stq_level"] - 1)

@@ -37,7 +37,9 @@ BUGS = (
     Bug("C2", "cva6", "Incorrect fflags set when fdiv divides by infinity (single)", 701.95, 1.48),
     Bug("C3", "cva6", "Wrong handling of invalid NaN-boxed single-precision fdiv", 931.30, 1.63),
     Bug("C4", "cva6", "Same as C2 (double precision)", 445.28, 1.31),
-    Bug("C5", "cva6", "Double-precision multiplication yields wrong sign when rounding down", 35.64, 1.03),
+    Bug("C5", "cva6",
+        "Double-precision multiplication yields wrong sign when rounding down",
+        35.64, 1.03),
     Bug("C6", "cva6", "Duplicate of C3 (another stimulus)", 442.63, 1.31),
     Bug("C7", "cva6", "Co-simulation mismatch when reading stval CSR", 19.48, 1.01),
     Bug("C8", "cva6", "RV32A enabled without RV64A fails to raise exception", 581.21, 1.42),

@@ -4,8 +4,12 @@ Carries the CVA6-specific scoreboard module in addition to the shared
 micro-architectural modules; all ten CVA6 bugs (C1-C10) inject here.
 """
 
+from repro.analyze.markers import hot_path
 from repro.dut.core import CoreTiming, DutCore
 from repro.isa.instructions import Category
+
+# Hoisted so the hot _update_microarch override allocates nothing per call.
+_DIVIDES = frozenset({Category.DIV, Category.FP_DIV})
 
 
 class Cva6Core(DutCore):
@@ -53,6 +57,7 @@ class Cva6Core(DutCore):
         frontend.register("fetch_pipe_regs", width=12_000)
         top.memory("int_regfile", depth=31, width=64)
 
+    @hot_path
     def _update_microarch(self, record, decoded):
         super()._update_microarch(record, decoded)
         if decoded is None:
@@ -63,6 +68,6 @@ class Cva6Core(DutCore):
         issue = (vals["sb_issue_ptr"] + 1) & 7
         vals["sb_issue_ptr"] = issue
         category = decoded.spec.category
-        lag = 2 if category in (Category.DIV, Category.FP_DIV) else 1
+        lag = 2 if category in _DIVIDES else 1
         vals["sb_commit_ptr"] = (issue - lag) & 7
         vals["sb_full"] = 1 if lag > 1 else 0

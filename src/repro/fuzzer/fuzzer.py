@@ -203,6 +203,7 @@ class TurboFuzzer:
             "lfsr": self.lfsr.state_dict(),
             "corpus": self.corpus.state_dict(),
             "stats": self.stats.state_dict(),
+            "library": self.library.state_dict(),
             "persistent_data_patches": [
                 [offset, blob.hex()]
                 for offset, blob in self.persistent_data_patches
@@ -215,6 +216,11 @@ class TurboFuzzer:
         self.lfsr.load_state(state["lfsr"])
         self.corpus.load_state(state["corpus"])
         self.stats.load_state(state["stats"])
+        # Older checkpoints predate the library key; they could only have
+        # been taken with the constructor-default extension set, which the
+        # fresh build already holds.
+        if "library" in state:
+            self.library.load_state(state["library"])
         self.persistent_data_patches = [
             (int(offset), bytes.fromhex(blob))
             for offset, blob in state["persistent_data_patches"]

@@ -7,7 +7,6 @@ this through VIO configuration interfaces; here it is a plain API that the
 """
 
 from repro.isa.instructions import (
-    Category,
     Extension,
     SPECS,
 )
@@ -21,6 +20,14 @@ _EXCLUDED_NAMES = frozenset({"ecall", "mret", "wfi"})
 
 class InstructionLibrary:
     """Runtime-toggleable repository of generatable instruction specs."""
+
+    # Everything below is a pure function of (_enabled, _excluded_names):
+    # _rebuild() reconstructs it after load_state, and version is a
+    # process-local cache key that must not travel (a restored process's
+    # samplers must re-expand their caches regardless).
+    _checkpoint_transient = frozenset({
+        "_active", "_by_category", "_weighted_cache", "version",
+    })
 
     def __init__(self, extensions=None, exclude=()):
         self._enabled = set(
@@ -116,6 +123,22 @@ class InstructionLibrary:
         if not expanded:
             raise ValueError("no instructions active after weighting")
         return expanded
+
+    # -- checkpoint protocol ---------------------------------------------------
+    def state_dict(self):
+        """JSON-round-trippable snapshot of the VIO-style configuration.
+
+        Without this, mid-campaign ``enable``/``disable`` toggles were
+        silently lost across a checkpoint/resume: the resumed library came
+        back with its constructor defaults and the instruction stream
+        diverged from the uninterrupted run.
+        """
+        return {"enabled": sorted(ext.name for ext in self._enabled)}
+
+    def load_state(self, state):
+        """Restore the active-extension set (derived tables are rebuilt)."""
+        self._enabled = {Extension[name] for name in state["enabled"]}
+        self._rebuild()
 
     def __len__(self):
         return len(self._active)

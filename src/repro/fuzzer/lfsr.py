@@ -13,6 +13,8 @@ All stochastic choices in the fuzzer draw from this, so a TurboFuzzer run
 is a pure function of its seed.
 """
 
+from repro.analyze.markers import hot_path
+
 _MASK64 = (1 << 64) - 1
 
 
@@ -24,6 +26,7 @@ class Lfsr:
     def __init__(self, seed=1):
         self.state = (seed & _MASK64) or 1  # all-zero state is absorbing
 
+    @hot_path
     def next(self):
         """Advance one step and return the new 64-bit state."""
         state = self.state
@@ -33,6 +36,7 @@ class Lfsr:
         self.state = state
         return state
 
+    @hot_path
     def bits(self, count):
         """Draw ``count`` pseudo-random bits (as an unsigned int)."""
         if count <= 64:
@@ -49,6 +53,7 @@ class Lfsr:
     # :meth:`next`: they run once or more per generated operand, and the
     # call overhead dominates the three shift-XOR stages.
 
+    @hot_path
     def below(self, bound):
         """Uniform-ish integer in ``[0, bound)`` (hardware-style modulo)."""
         if bound <= 0:
@@ -60,6 +65,7 @@ class Lfsr:
         self.state = state
         return state % bound
 
+    @hot_path
     def chance(self, probability):
         """Bernoulli draw with ``probability = (numerator, denominator)``;
         the denominator must be a power of two (hardware bit-slicing)."""
@@ -73,6 +79,7 @@ class Lfsr:
         self.state = state
         return (state & (denominator - 1)) < numerator
 
+    @hot_path
     def choice(self, sequence):
         """Pick one element of a non-empty sequence."""
         length = len(sequence)

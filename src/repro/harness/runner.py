@@ -1,6 +1,6 @@
 """Iteration execution: DUT alone or DUT/REF lockstep with checking."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.harness.checker import DifferentialChecker
 from repro.harness.image import build_image

@@ -252,9 +252,12 @@ for _name, _f7, _f3 in (
 _add("fence", "FENCE", _i(0b000, OP_FENCE), MASK_OP_F3, Extension.I, Category.FENCE)
 _add("fence.i", "NONE", _i(0b001, OP_FENCE), MASK_FULL, Extension.I, Category.FENCE)
 _add("ecall", "NONE", OP_SYSTEM, MASK_FULL, Extension.SYSTEM, Category.SYSTEM)
-_add("ebreak", "NONE", (1 << 20) | OP_SYSTEM, MASK_FULL, Extension.SYSTEM, Category.SYSTEM)
-_add("mret", "NONE", (0b0011000_00010 << 20) | OP_SYSTEM, MASK_FULL, Extension.SYSTEM, Category.SYSTEM)
-_add("wfi", "NONE", (0b0001000_00101 << 20) | OP_SYSTEM, MASK_FULL, Extension.SYSTEM, Category.SYSTEM)
+_add("ebreak", "NONE", (1 << 20) | OP_SYSTEM, MASK_FULL, Extension.SYSTEM,
+     Category.SYSTEM)
+_add("mret", "NONE", (0b0011000_00010 << 20) | OP_SYSTEM, MASK_FULL,
+     Extension.SYSTEM, Category.SYSTEM)
+_add("wfi", "NONE", (0b0001000_00101 << 20) | OP_SYSTEM, MASK_FULL,
+     Extension.SYSTEM, Category.SYSTEM)
 
 # --- M ----------------------------------------------------------------------
 for _name, _f3, _cat in (

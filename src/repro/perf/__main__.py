@@ -77,6 +77,9 @@ def main(argv=None):
         for regression in regressions:
             print("REGRESSION:", regression.get("reason", regression),
                   file=sys.stderr)
+        print("hint: check the hot paths for reintroduced allocations with\n"
+              "      PYTHONPATH=src python -m repro.analyze report --select HOT src/",
+              file=sys.stderr)
         return 1
     print(f"perf gate OK (tolerance {args.tolerance:.0%})")
     return 0

@@ -12,6 +12,7 @@ instruction by instruction, which is the paper's fine-grained self-checking.
 
 from dataclasses import dataclass, field
 
+from repro.analyze.markers import hot_path
 from repro.isa import csr as CSR
 from repro.isa.decoder import _CACHE as _DECODE_CACHE
 from repro.isa.decoder import IllegalInstruction, decode
@@ -177,22 +178,24 @@ class Executor:
         self._load_word = memory.load_word
 
     # ------------------------------------------------------------------ fetch
+    @hot_path
     def step(self):
         """Execute one instruction and return its :class:`CommitRecord`."""
         state = self.state
         pc = state.pc
         word = 0
         decoded = None
+        # analyze: ignore[HOT005] trap dispatch: raises only on the cold (trap) branch
         try:
             if pc & 3:
                 raise _TrapSignal(CSR.CAUSE_MISALIGNED_FETCH, pc)
-            try:
+            try:  # analyze: ignore[HOT005] fetch fault is the cold branch
                 word = self._load_word(pc)
             except MemoryAccessError:
                 raise _TrapSignal(CSR.CAUSE_FETCH_ACCESS, pc) from None
             decoded = _DECODE_CACHE.get(word)
             if decoded is None:
-                try:
+                try:  # analyze: ignore[HOT005] decode-cache miss is the cold branch
                     decoded = decode(word)
                 except IllegalInstruction:
                     raise _TrapSignal(
@@ -236,6 +239,7 @@ class Executor:
         return state.csrs[CSR.MTVEC] & ~3
 
     # --- helpers --------------------------------------------------------
+    @hot_path
     def _wx(self, record, index, value):
         value &= MASK64
         if index:
@@ -246,6 +250,7 @@ class Executor:
             record.rd = 0
             record.rd_value = 0
 
+    @hot_path
     def _wf(self, record, index, value):
         value &= MASK64
         state = self.state

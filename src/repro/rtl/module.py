@@ -1,6 +1,6 @@
 """Hierarchical module container for the RTL-IR."""
 
-from repro.rtl.signals import Logic, Memory, Mux, Node, Port, Register
+from repro.rtl.signals import Logic, Memory, Mux, Port, Register
 
 
 class Module:

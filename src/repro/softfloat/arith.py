@@ -17,7 +17,6 @@ from repro.softfloat.formats import (
     is_snan,
     is_zero,
     sign_of,
-    split,
     unpack,
     zero_bits,
 )

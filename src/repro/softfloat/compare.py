@@ -9,7 +9,6 @@ from repro.softfloat.formats import (
     is_subnormal,
     is_zero,
     sign_of,
-    split,
     unpack,
 )
 from repro.softfloat.memo import memoize_fp

@@ -1,0 +1,458 @@
+"""repro.analyze: rule families, suppressions, baseline, CLI.
+
+Fixture modules are written under ``tmp_path`` with directory names
+(``fuzzer/``, ``dut/``...) chosen to put them on — or keep them off —
+the reproducible path the DET rules guard.  ``root=tmp_path`` is passed
+explicitly so path-segment scoping sees the intended layout.
+"""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analyze import analyze_paths, hot_path
+from repro.analyze.baseline import load_baseline, save_baseline, split_by_baseline
+from repro.analyze.cli import main as analyze_main
+from repro.analyze.findings import Finding
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def scan(tmp_path, **kwargs):
+    return analyze_paths([str(tmp_path)], root=str(tmp_path), **kwargs)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestCheckpointAuditor:
+    def test_boom_bug_shape_forgotten_attribute(self, tmp_path):
+        """The PR-5 incident in miniature: cross-iteration state mutated
+        on the hot path but absent from core_state_dict()."""
+        write(tmp_path, "dut/predictor.py", """
+            class PredictorCore:
+                def __init__(self):
+                    self._mispredicts = 0
+                    self._branch_predictor = {}
+
+                def _latency(self, record):
+                    self._branch_predictor[record.pc] = 1
+                    self._mispredicts += 1
+                    return 1.0
+
+                def core_state_dict(self):
+                    return {"mispredicts": self._mispredicts}
+
+                def load_core_state(self, state):
+                    self._mispredicts = int(state.get("mispredicts", 0))
+        """)
+        findings = scan(tmp_path, select=["CHK"])
+        chk1 = [f for f in findings if f.rule == "CHK001"]
+        assert len(chk1) == 1
+        assert "_branch_predictor" in chk1[0].message
+        assert chk1[0].symbol == "PredictorCore._branch_predictor"
+
+    def test_clean_symmetric_class_passes(self, tmp_path):
+        write(tmp_path, "fuzzer/gen.py", """
+            class Gen:
+                def __init__(self, seed):
+                    self.state = seed
+                    self.count = 0
+
+                def draw(self):
+                    self.state = (self.state * 3) & 0xFF
+                    self.count += 1
+                    return self.state
+
+                def state_dict(self):
+                    return {"state": self.state, "count": self.count}
+
+                def load_state(self, state):
+                    self.state = state["state"]
+                    self.count = state.get("count", 0)
+        """)
+        assert scan(tmp_path, select=["CHK"]) == []
+
+    def test_key_asymmetry_both_directions(self, tmp_path):
+        write(tmp_path, "fuzzer/asym.py", """
+            class Asym:
+                def __init__(self):
+                    self.a = 0
+
+                def state_dict(self):
+                    return {"a": self.a, "orphan": 1}
+
+                def load_state(self, state):
+                    self.a = state["a"]
+                    self.b = state["phantom"]
+        """)
+        findings = scan(tmp_path, select=["CHK002"])
+        keys = sorted(f.symbol for f in findings)
+        assert keys == ["Asym[orphan]", "Asym[phantom]"]
+
+    def test_unpaired_halves(self, tmp_path):
+        write(tmp_path, "fuzzer/halves.py", """
+            class SaveOnly:
+                def state_dict(self):
+                    return {}
+
+            class LoadOnly:
+                def load_state(self, state):
+                    pass
+        """)
+        findings = scan(tmp_path, select=["CHK003"])
+        assert len(findings) == 2
+
+    def test_from_state_counts_as_load_half(self, tmp_path):
+        write(tmp_path, "fuzzer/valueobj.py", """
+            class Seedling:
+                def __init__(self, value):
+                    self.value = value
+
+                def state_dict(self):
+                    return {"value": self.value}
+
+                @classmethod
+                def from_state(cls, state):
+                    return cls(state["value"])
+        """)
+        assert scan(tmp_path, select=["CHK"]) == []
+
+    def test_transient_declaration_exempts(self, tmp_path):
+        write(tmp_path, "fuzzer/cachey.py", """
+            class Cachey:
+                _checkpoint_transient = frozenset({"_cache"})
+
+                def __init__(self):
+                    self.total = 0
+                    self._cache = {}
+
+                def bump(self, key):
+                    self.total += 1
+                    self._cache[key] = self.total
+
+                def state_dict(self):
+                    return {"total": self.total}
+
+                def load_state(self, state):
+                    self.total = state["total"]
+        """)
+        assert scan(tmp_path, select=["CHK"]) == []
+
+    def test_stale_transient_flagged(self, tmp_path):
+        write(tmp_path, "fuzzer/stale.py", """
+            class Stale:
+                _checkpoint_transient = frozenset({"_ghost"})
+
+                def __init__(self):
+                    self.n = 0
+
+                def state_dict(self):
+                    return {"n": self.n}
+
+                def load_state(self, state):
+                    self.n = state["n"]
+        """)
+        findings = scan(tmp_path, select=["CHK004"])
+        assert len(findings) == 1
+        assert "_ghost" in findings[0].message
+
+    def test_reset_written_attrs_exempt_for_core_pair_only(self, tmp_path):
+        write(tmp_path, "dut/resetty.py", """
+            class Resetty:
+                def __init__(self):
+                    self.cycles = 0
+                    self.persistent = {}
+
+                def reset(self):
+                    self.cycles = 0
+
+                def tick(self):
+                    self.cycles += 1
+                    self.persistent["x"] = self.cycles
+
+                def core_state_dict(self):
+                    return {"persistent": dict(self.persistent)}
+
+                def load_core_state(self, state):
+                    self.persistent = dict(state.get("persistent", {}))
+        """)
+        # cycles is reset() per-iteration state: exempt; persistent travels.
+        assert scan(tmp_path, select=["CHK001"]) == []
+
+    def test_opaque_key_flow_skips_key_comparison(self, tmp_path):
+        write(tmp_path, "fuzzer/opaque.py", """
+            class Opaque:
+                def __init__(self):
+                    self.data = {}
+
+                def state_dict(self):
+                    return {"data": dict(self.data)}
+
+                def load_state(self, state):
+                    for key, value in state.items():
+                        self.data[key] = value
+        """)
+        assert scan(tmp_path, select=["CHK002"]) == []
+
+
+class TestDeterminismLint:
+    def test_banned_imports_on_reproducible_path(self, tmp_path):
+        write(tmp_path, "fuzzer/dicey.py", """
+            import random
+            import time
+            from datetime import datetime
+        """)
+        assert rules_of(scan(tmp_path)) == ["DET001", "DET002"]
+
+    def test_off_path_module_not_checked(self, tmp_path):
+        write(tmp_path, "bench/dicey.py", """
+            import random
+            import time
+        """)
+        assert scan(tmp_path) == []
+
+    def test_id_keyed_dict(self, tmp_path):
+        write(tmp_path, "coverage/ident.py", """
+            def index(table, obj):
+                table[id(obj)] = 1
+                return {id(obj): 2}
+        """)
+        findings = scan(tmp_path, select=["DET003"])
+        assert len(findings) == 2
+
+    def test_set_iteration_feeding_ordered_output(self, tmp_path):
+        write(tmp_path, "campaign/sets.py", """
+            def bad(items):
+                order = list(set(items))
+                for element in {1, 2, 3}:
+                    order.append(element)
+                return ",".join(set(items)), order
+
+            def good(items):
+                return sorted(set(items)), len(set(items))
+        """)
+        findings = scan(tmp_path, select=["DET004"])
+        assert len(findings) == 3
+
+    def test_environ_read(self, tmp_path):
+        write(tmp_path, "campaign/envy.py", """
+            import os
+
+            def pick():
+                return os.environ.get("MODE") or os.getenv("MODE")
+        """)
+        findings = scan(tmp_path, select=["DET005"])
+        assert len(findings) == 2
+
+
+class TestHotPathGuard:
+    def test_unmarked_function_not_checked(self, tmp_path):
+        write(tmp_path, "fuzzer/cold.py", """
+            def build():
+                return [x for x in range(4)]
+        """)
+        assert scan(tmp_path, select=["HOT"]) == []
+
+    def test_marked_function_allocations(self, tmp_path):
+        write(tmp_path, "fuzzer/hot.py", """
+            from repro.analyze.markers import hot_path
+
+            @hot_path
+            def bad(values):
+                squares = [v * v for v in values]          # HOT001
+                box = {"k": 1}                             # HOT002
+                pair = (values[0], values[1])              # HOT002
+                fn = lambda v: v                           # HOT003
+                label = f"{values}"                        # HOT004
+                try:                                       # HOT005
+                    return squares, box, pair, fn, label
+                except ValueError:
+                    return None
+        """)
+        assert rules_of(scan(tmp_path, select=["HOT"])) == \
+            ["HOT001", "HOT002", "HOT003", "HOT004", "HOT005"]
+
+    def test_constant_tuple_is_exempt(self, tmp_path):
+        write(tmp_path, "fuzzer/folded.py", """
+            from repro.analyze.markers import hot_path
+
+            @hot_path
+            def classify(cause):
+                if cause in (0, 1, 2):
+                    return 1
+                if cause in (3, -1, "x"):
+                    return 2
+                return 0
+        """)
+        assert scan(tmp_path, select=["HOT"]) == []
+
+    def test_marker_is_runtime_noop(self):
+        @hot_path
+        def probe(x):
+            return x + 1
+
+        assert probe(1) == 2
+        assert probe.__hot_path__ is True
+
+
+class TestRegistryHygiene:
+    def test_duplicate_name_across_files(self, tmp_path):
+        write(tmp_path, "campaign/plug_a.py", """
+            from repro.campaign.registry import register_fuzzer
+
+            @register_fuzzer("dup", config_class=dict, timing="t")
+            class A:
+                pass
+        """)
+        write(tmp_path, "campaign/plug_b.py", """
+            from repro.campaign.registry import register_fuzzer
+
+            @register_fuzzer("dup", config_class=dict, timing="t")
+            class B:
+                pass
+        """)
+        findings = scan(tmp_path, select=["REG001"])
+        assert len(findings) == 1
+        assert "plug_a.py" in findings[0].message
+
+    def test_replace_true_suppresses_duplicate(self, tmp_path):
+        write(tmp_path, "campaign/plug.py", """
+            from repro.campaign.registry import register_fuzzer
+
+            @register_fuzzer("dup", config_class=dict, timing="t")
+            class A:
+                pass
+
+            @register_fuzzer("dup", config_class=dict, timing="t", replace=True)
+            class B:
+                pass
+        """)
+        assert scan(tmp_path, select=["REG001"]) == []
+
+    def test_function_local_registration_flagged(self, tmp_path):
+        write(tmp_path, "campaign/nested.py", """
+            from repro.campaign.registry import register_fuzzer
+
+            def install():
+                @register_fuzzer("inner", config_class=dict, timing="t")
+                class Hidden:
+                    pass
+                return Hidden
+        """)
+        findings = scan(tmp_path, select=["REG002"])
+        assert len(findings) == 1
+        assert "Hidden" in findings[0].message
+
+    def test_live_registries_are_clean(self):
+        findings = analyze_paths([REPO_SRC], select=["REG003", "REG005"])
+        assert findings == []
+
+
+class TestSuppressions:
+    def test_same_line_and_line_above(self, tmp_path):
+        write(tmp_path, "fuzzer/quiet.py", """
+            import random  # analyze: ignore[DET002] seeded downstream
+
+            # analyze: ignore[DET001] justified
+            import time
+        """)
+        assert scan(tmp_path) == []
+
+    def test_wildcard_and_unrelated_rule(self, tmp_path):
+        write(tmp_path, "fuzzer/wild.py", """
+            import random  # analyze: ignore[*]
+
+            import time  # analyze: ignore[DET002] wrong rule: does not hide DET001
+        """)
+        assert rules_of(scan(tmp_path)) == ["DET001"]
+
+
+class TestBaselineAndCli:
+    def _dirty_tree(self, tmp_path):
+        write(tmp_path, "src/fuzzer/dicey.py", "import random\n")
+        return tmp_path / "src"
+
+    def test_baseline_round_trip(self, tmp_path):
+        src = self._dirty_tree(tmp_path)
+        findings = analyze_paths([str(src)], root=str(src))
+        assert rules_of(findings) == ["DET002"]
+        baseline_file = tmp_path / "baseline.json"
+        save_baseline(findings, str(baseline_file))
+        accepted = load_baseline(str(baseline_file))
+        new, baselined = split_by_baseline(findings, accepted)
+        assert new == [] and len(baselined) == 1
+
+    def test_check_exit_codes(self, tmp_path, capsys):
+        src = self._dirty_tree(tmp_path)
+        baseline_file = str(tmp_path / "baseline.json")
+        assert analyze_main(["check", "--root", str(src),
+                             "--baseline", baseline_file, str(src)]) == 1
+        assert analyze_main(["update-baseline", "--root", str(src),
+                             "--baseline", baseline_file, str(src)]) == 0
+        assert analyze_main(["check", "--root", str(src),
+                             "--baseline", baseline_file, str(src)]) == 0
+        capsys.readouterr()
+
+    def test_report_always_exits_zero_and_json(self, tmp_path, capsys):
+        src = self._dirty_tree(tmp_path)
+        assert analyze_main(["report", "--json", "--root", str(src),
+                             str(src)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "DET002"
+        assert payload[0]["fingerprint"].startswith("DET002::")
+
+    def test_select_and_ignore(self, tmp_path):
+        write(tmp_path, "fuzzer/mixed.py", """
+            import random
+            import time
+        """)
+        assert rules_of(scan(tmp_path, select=["DET001"])) == ["DET001"]
+        assert rules_of(scan(tmp_path, ignore=["DET001"])) == ["DET002"]
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        write(tmp_path, "fuzzer/broken.py", "def broken(:\n")
+        findings = scan(tmp_path)
+        assert rules_of(findings) == ["E001"]
+
+    def test_fingerprint_survives_line_churn(self):
+        a = Finding(rule="CHK001", message="m", path="/x/y.py", line=10,
+                    symbol="C.attr", relpath="y.py")
+        b = Finding(rule="CHK001", message="m", path="/x/y.py", line=99,
+                    symbol="C.attr", relpath="y.py")
+        assert a.fingerprint == b.fingerprint
+
+
+class TestRealTree:
+    def test_repo_source_is_clean(self):
+        assert analyze_paths([REPO_SRC]) == []
+
+    def test_reintroducing_boom_bug_fails_check(self, tmp_path):
+        """The acceptance criterion: dropping the branch-predictor key from
+        BOOM's core_state_dict must produce a checkpoint-protocol finding
+        naming the attribute."""
+        boom = os.path.join(REPO_SRC, "dut", "boom.py")
+        with open(boom, encoding="utf-8") as handle:
+            source = handle.read()
+        needle = '"branch_predictor": {str(pc): counter for pc, counter\n'
+        assert needle in source
+        mutated = source.replace(needle, "").replace(
+            "                                 in self._branch_predictor.items()},\n",
+            "")
+        assert mutated != source
+        write(tmp_path, "dut/boom.py", mutated)
+        findings = analyze_paths([str(tmp_path)], root=str(tmp_path),
+                                 select=["CHK"])
+        assert any(f.rule == "CHK001"
+                   and f.symbol == "BoomCore._branch_predictor"
+                   for f in findings)

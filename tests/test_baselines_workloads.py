@@ -7,7 +7,6 @@ from repro.deepexplore import (
     BasicBlockVectorCollector,
     DeepExplore,
     DeepExploreConfig,
-    build_interval_seed,
     kmeans,
     select_simpoints,
 )

@@ -321,3 +321,74 @@ class TestCoverageAtBisect:
         last_time, last_points = series[-1]
         assert grid.coverage_at("only", last_time) == last_points
         assert grid.coverage_at("only", 0.0) == 0
+
+
+class TestInstructionLibraryCheckpoint:
+    """The library's VIO-style enable/disable toggles must travel with a
+    checkpoint — the analyzer's checkpoint auditor motivated adding the
+    library to every fuzzer's state_dict (before that, mid-campaign
+    toggles silently reverted to constructor defaults on resume)."""
+
+    def test_library_round_trip(self):
+        from repro.fuzzer.instrlib import InstructionLibrary
+        from repro.isa.instructions import Extension
+
+        library = InstructionLibrary()
+        library.disable(Extension.D)
+        library.disable(Extension.F)
+        restored = InstructionLibrary()
+        restored.load_state(json_round_trip(library.state_dict()))
+        assert restored.enabled_extensions == library.enabled_extensions
+        assert [spec.name for spec in restored.active_specs] == \
+            [spec.name for spec in library.active_specs]
+
+    def test_resume_preserves_mid_campaign_toggle(self):
+        from repro.isa.instructions import Extension
+
+        spec = small_spec(seed=0xD15A)
+
+        full = build_session(spec)
+        full.run_iterations(3)
+        full.fuzzer.library.disable(Extension.F)
+        full.fuzzer.library.disable(Extension.D)
+        full.run_iterations(5)
+
+        half = build_session(spec)
+        half.run_iterations(3)
+        half.fuzzer.library.disable(Extension.F)
+        half.fuzzer.library.disable(Extension.D)
+        half.run_iterations(1)
+        resumed = resume_session(CampaignCheckpoint.from_json(
+            CampaignCheckpoint.capture(half).to_json()))
+        assert resumed.fuzzer.library.enabled_extensions == \
+            half.fuzzer.library.enabled_extensions
+        resumed.run_iterations(4)
+
+        assert resumed.coverage_series() == full.coverage_series()
+        assert resumed.history_dicts() == full.history_dicts()
+        assert resumed.fuzzer.lfsr.state == full.fuzzer.lfsr.state
+
+    @pytest.mark.parametrize("fuzzer", ("difuzzrtl", "cascade"))
+    def test_baseline_fuzzers_carry_library(self, fuzzer):
+        from repro.isa.instructions import Extension
+
+        spec = CampaignSpec(fuzzer=fuzzer)
+        half = build_session(spec)
+        half.run_iterations(2)
+        half.fuzzer.library.disable(Extension.M)
+        resumed = resume_session(
+            json_round_trip(CampaignCheckpoint.capture(half).to_dict()))
+        assert resumed.fuzzer.library.enabled_extensions == \
+            half.fuzzer.library.enabled_extensions
+
+    def test_old_checkpoint_without_library_key_still_loads(self):
+        spec = small_spec(seed=5)
+        session = build_session(spec)
+        session.run_iterations(2)
+        state = json_round_trip(session.fuzzer.state_dict())
+        del state["library"]  # pre-library checkpoint shape
+        fresh = build_session(spec)
+        fresh.fuzzer.load_state(state)
+        assert fresh.fuzzer.lfsr.state == session.fuzzer.lfsr.state
+        assert fresh.fuzzer.library.enabled_extensions == \
+            session.fuzzer.library.enabled_extensions

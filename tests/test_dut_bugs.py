@@ -4,14 +4,12 @@ stimulus runs clean."""
 
 import pytest
 
-from tests.helpers import f64_bits, f32_bits
 from repro.dut import BUGS, BUGS_BY_ID, bugs_for_core, make_core
 from repro.dut.bugs import BuggyHooks, CorrectHooks
 from repro.fuzzer.blocks import InstructionBlock, Iteration, StimulusEntry
 from repro.fuzzer.context import MemoryLayout
 from repro.harness.runner import IterationRunner
 from repro.isa.encoder import assemble_all, encode
-from repro.softfloat.formats import nan_box
 
 
 LAYOUT = MemoryLayout()

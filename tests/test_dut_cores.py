@@ -1,7 +1,6 @@
 """DUT cores: netlists, stepping, latency, caches, microarch domains."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.coverage import instrument_design
 from repro.dut import BoomCore, Cva6Core, RocketCore, make_core

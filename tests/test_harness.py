@@ -2,7 +2,6 @@
 
 import pytest
 
-from tests.helpers import bits_f64
 from repro.dut import RocketCore, make_core
 from repro.fuzzer import TurboFuzzConfig, TurboFuzzer
 from repro.fuzzer.context import MemoryLayout
@@ -27,7 +26,6 @@ from repro.harness.timing import (
     DIFUZZRTL_FPGA_TIMING,
     TURBOFUZZ_TIMING,
 )
-from repro.isa import csr as CSR
 from repro.ref.executor import CommitRecord
 
 

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.deepexplore import DeepExplore, DeepExploreConfig
-from repro.dut import make_core
-from repro.fuzzer import TurboFuzzConfig, TurboFuzzer
-from repro.harness import FuzzSession, IterationRunner, SessionConfig
+from repro.fuzzer import TurboFuzzConfig
+from repro.harness import FuzzSession, SessionConfig
 from repro.workloads import all_workloads
 
 

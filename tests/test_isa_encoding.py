@@ -24,7 +24,7 @@ from repro.isa.encoding import (
     to_signed,
     to_unsigned,
 )
-from repro.isa.instructions import Category, Extension, specs_for_extensions
+from repro.isa.instructions import Extension, specs_for_extensions
 
 
 class TestBitHelpers:

@@ -1,13 +1,11 @@
 """Reference executor: architectural semantics instruction by instruction."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from tests.helpers import f64_bits, bits_f64, make_executor, run_program
 from repro.isa import csr as CSR
 from repro.isa.encoder import assemble_all, encode
 from repro.isa.encoding import MASK64, to_signed
-from repro.ref.state import PRV_M
 
 u64 = st.integers(min_value=0, max_value=MASK64)
 

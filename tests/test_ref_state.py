@@ -1,6 +1,6 @@
 """Architectural state container: fcsr aliasing, snapshots, diff."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.isa import csr as CSR
 from repro.ref import ArchState

@@ -17,7 +17,7 @@ from repro.coverage import (
 )
 from repro.coverage.layout import _rotl
 from repro.rtl import Module, estimate_area
-from repro.rtl.netlist import control_registers, trace_select
+from repro.rtl.netlist import control_registers
 
 
 def _toy_module(domains=(None, None, None), widths=(3, 2, 4)):

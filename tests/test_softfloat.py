@@ -1,7 +1,6 @@
 """Softfloat: bit-exact IEEE-754 arithmetic, comparisons, conversions."""
 
 import math
-import struct
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -37,7 +36,6 @@ from repro.softfloat import (
     fp_to_fp,
     fp_to_int,
     int_to_fp,
-    is_nan,
     is_nan_boxed,
     nan_box,
     nan_unbox,
