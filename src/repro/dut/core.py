@@ -303,6 +303,9 @@ class DutCore:
         "_cov_bindings", "_cov_by_module", "_slot_bindings",
         "_always_bindings", "_cond_bindings", "_slot_by_module",
         "_fused", "_active_modules", "_prev_active", "_reference_observer",
+        # Block-compile caches: pure derived state, content-keyed on
+        # instruction words / block version stamps; rebuilt on demand.
+        "_slot_cache", "_template_map", "_entry_heat", "_compile_stats",
     })
 
     def __init__(self, bugs=(), rv32a_only=False, reset_pc=0x8000_0000):
@@ -330,6 +333,22 @@ class DutCore:
         self._reference_observer = False
         self._active_modules = set()
         self._prev_active = set()
+        # Block-compile caches (repro.ref.blockcompile): word -> slot
+        # closure, template regions -> pc->extent map, and counters.
+        # Bounded by evict-half, cleared whenever bindings change.
+        self._slot_cache = {}
+        self._template_map = {}
+        # block version stamp -> sightings across iterations (populated
+        # only under set_fuzz_gating(True)): retained blocks accumulate
+        # heat and get compiled; fresh or mutated (re-stamped) blocks
+        # never cross the threshold.
+        self._entry_heat = {}
+        self._compile_stats = {
+            "map_hits": 0, "map_misses": 0,
+            "word_hits": 0, "word_misses": 0,
+            "compiled_instructions": 0, "bailouts": 0,
+            "entries_compiled": 0,
+        }
         self.cycles = 0.0
         self.retired = 0
         self._prev_rd = 0
@@ -552,6 +571,11 @@ class DutCore:
         self._fused = _FusedObserver(self._always_bindings, self.vals)
         self._active_modules = set()
         self._prev_active = set()
+        # Compiled slots capture _fused/_cond_bindings at compile time;
+        # new bindings invalidate every compiled entry.
+        self._slot_cache.clear()
+        self._template_map.clear()
+        self._entry_heat.clear()
 
     def use_reference_observer(self, enabled=True):
         """Route observation through the pre-overhaul tuple/memo slow path
@@ -865,22 +889,7 @@ class DutCore:
             vals["csr_cls"] = 5
         else:
             vals["csr_cls"] = 0
-        # MSTATUS/privilege change detection is cached: when neither moved
-        # since the last non-trap instruction, the fs/mie/priv vals already
-        # hold the current decoding and the whole block is skipped.
-        status = state.csrs[CSR.MSTATUS]
-        privilege = state.privilege
-        if status != self._last_mstatus or privilege != self._last_priv:
-            fs_status = (status >> CSR.MSTATUS_FS_SHIFT) & 3
-            mie_bit = (status >> 3) & 1
-            if (fs_status != vals["fs_status"] or mie_bit != vals["mie_bit"]
-                    or privilege != vals["priv"]):
-                active.add("CSRFile")
-            vals["fs_status"] = fs_status
-            vals["mie_bit"] = mie_bit
-            vals["priv"] = privilege
-            self._last_mstatus = status
-            self._last_priv = privilege
+        self._mstatus_sync()
 
         # PTW activity is tied to fences in this M-mode-only model.
         if category is _FENCE:
@@ -888,6 +897,42 @@ class DutCore:
             ptw_state = (vals["ptw_state"] + 1) & 3
             vals["ptw_state"] = ptw_state if ptw_state else 1
             vals["ptw_level"] = (vals["ptw_level"] + 1) % 3
+
+    @hot_path
+    def _mstatus_sync(self):
+        """MSTATUS/privilege change detection, cached: when neither moved
+        since the last non-trap instruction, the fs/mie/priv vals already
+        hold the current decoding and the whole block is skipped.  Shared
+        by :meth:`_update_microarch` and compiled value slots (an FP
+        predecessor dirtying MSTATUS must surface on the next commit)."""
+        state = self.state
+        status = state.csrs[CSR.MSTATUS]
+        privilege = state.privilege
+        if status == self._last_mstatus and privilege == self._last_priv:
+            return
+        vals = self.vals
+        fs_status = (status >> CSR.MSTATUS_FS_SHIFT) & 3
+        mie_bit = (status >> 3) & 1
+        if (fs_status != vals["fs_status"] or mie_bit != vals["mie_bit"]
+                or privilege != vals["priv"]):
+            self._active_modules.add("CSRFile")
+        vals["fs_status"] = fs_status
+        vals["mie_bit"] = mie_bit
+        vals["priv"] = privilege
+        self._last_mstatus = status
+        self._last_priv = privilege
+
+    def compiled_microarch_extra(self, decoded):
+        """Hook for per-core microarch updates in compiled value slots.
+
+        Subclasses that extend :meth:`_update_microarch` return a zero-arg
+        closure replicating that extension for a non-trapping instruction
+        of this identity; the block compiler calls it once per executed
+        slot, after the shared register writes and MSTATUS sync.  Record
+        slots go through :meth:`_update_microarch` itself and must not
+        also apply this.  None means no per-core extension (Rocket).
+        """
+        return None
 
     @staticmethod
     def _csr_class(address):

@@ -1,0 +1,705 @@
+"""Block compiler for the execution hot loop.
+
+Decoded instruction blocks are immutable and reused across iterations, so
+the per-instruction interpreter work — fetch, decode-cache probe, handler
+dispatch, operand decode, latency-table lookups, microarch dict writes and
+coverage-binding resolution — can be paid once per distinct instruction
+word and amortized over every later execution.  This module compiles
+maximal straight-line runs of compilable words into *extents*: chains of
+pre-bound slot closures, one call per instruction, with every
+compile-time-constant value captured in the closure and a slow-path
+bailout that falls back to the interpreter at the first trap.
+
+Two slot shapes exist:
+
+* **Value slots** (integer ALU / ALU_IMM / MUL / DIV with a registered
+  value factory in ``ref.executor``): the committed register value is
+  computed by one pre-bound closure — no CommitRecord, no handler
+  dispatch, no exception unwinding — and the microarch update is
+  replicated inline with every per-word constant folded into a single
+  ``dict.update``.  These mnemonics cannot trap.
+* **Record slots** (loads/stores/FP, plus integer words without a value
+  factory): the spec's pre-bound handler runs against a locally built
+  ``CommitRecord`` (bug hooks included), then the core's own
+  ``_update_microarch`` — subclass overrides included — drives the
+  control registers.  Every compiled category's handler raises *before*
+  any architectural side effect, so a trap mid-slot leaves state at the
+  trapping pc and the interpreter re-executes that instruction from
+  scratch, producing the identical trap record.
+
+* **Control slots** (BRANCH/JUMP at an extent's end): the branch/jump
+  semantics are inlined in trap-safe order (the jalr alignment check runs
+  before the link-register write, exactly like the interpreter), and the
+  slot returns the taken-path pc so a compiled run can end with its own
+  terminator instead of bouncing through the interpreter.
+
+Extent boundaries (interpreted): CSR, SYSTEM, AMO, FENCE, undecodable
+words, and extensions the executor has disabled.
+
+Compilation is *hotness-gated*, and the default gate is strict: only
+template regions (prologue / trap handler / done loop — identical in
+every iteration, executed in every iteration) compile, eagerly, once per
+core.  Fuzzed straight-line code overwhelmingly executes once — the
+generated programs cannot even loop (control flow is clamped strictly
+forward at assembly) — so compile time on once-run words can never be
+recouped.  Worse, *finding* the recurring minority costs more than it
+saves: any per-block bookkeeping over the ~900 blocks of an iteration
+runs ~90 µs while the recurring blocks' compiled execution saves ~25 µs.
+The version-stamp gate (``set_fuzz_gating``) therefore ships **off**:
+when enabled, fuzz blocks whose version has recurred ``_HOT_THRESHOLD``
+times get lazily-promoted map entries (version recurrence *is* content
+recurrence — retention shares the stamp, mutation re-stamps), which is
+the right trade only for long campaigns with high retention.
+
+All caches are per-core, content-keyed, bounded by the shared evict-half
+policy (`repro.perf.evict`), and checkpoint-transparent — derived state
+only, declared in ``DutCore._checkpoint_transient`` so the CHK auditor
+stays green.  Copy-on-write mutation re-stamps a clone's version, so a
+mutated block can never alias a previous iteration's compiled entries.
+Self-modifying programs are guarded by ``SparseMemory.program_version``.
+
+Bit-identity with the interpreter (including the preserved
+``use_reference_observer()`` path) is asserted by
+``tests/test_hotpath_equiv.py``.
+"""
+
+from repro.analyze.markers import hot_path
+from repro.dut.core import _CATEGORY_INDEX, _NAME_HASH
+from repro.isa import csr as CSR
+from repro.isa.decoder import try_decode
+from repro.isa.encoding import MASK64, to_signed
+from repro.isa.instructions import Category
+from repro.perf.evict import evict_half
+from repro.ref.executor import CommitRecord, _TrapSignal, value_function
+
+# Longest straight-line run compiled into one extent.  Generated fuzz
+# blocks are a handful of instructions; 64 comfortably covers the
+# template prologue, the longest profitable run.
+_MAX_EXTENT = 64
+
+# Version-stamp sightings before a fuzz block's entry is mapped for
+# compilation (only with set_fuzz_gating(True)).  Measured retention
+# streaks are short — most recurring content appears exactly twice — so
+# 3 restricts compilation to blocks with a demonstrated streak, where
+# the compile amortizes over the block's remaining corpus lifetime.
+# Template regions bypass the gate (stable for the whole campaign).
+_HOT_THRESHOLD = 3
+_HEAT_LIMIT = 1 << 15
+
+# Per-core cache bounds (evict-half on overflow, like the decoder _CACHE).
+_SLOT_CACHE_LIMIT = 1 << 16
+_TEMPLATE_MAP_LIMIT = 8
+
+_VALUE_CATEGORIES = frozenset(
+    {Category.ALU, Category.ALU_IMM, Category.MUL, Category.DIV})
+_RECORD_CATEGORIES = frozenset({
+    Category.LOAD, Category.STORE, Category.FP_LOAD, Category.FP_STORE,
+    Category.FP_ARITH, Category.FP_DIV, Category.FP_FMA, Category.FP_CMP,
+    Category.FP_CVT, Category.FP_MOVE,
+})
+_LOAD_CATEGORIES = frozenset({Category.LOAD, Category.FP_LOAD})
+_STORE_CATEGORIES = frozenset({Category.STORE, Category.FP_STORE})
+_CONTROL_CATEGORIES = frozenset({Category.BRANCH, Category.JUMP})
+
+_MUL = Category.MUL
+_DIV = Category.DIV
+
+_MINSTRET = CSR.MINSTRET
+_MCYCLE = CSR.MCYCLE
+
+# Module-wide enable switch: the equivalence suite drives the same
+# workload with compilation on and off and asserts identical fingerprints.
+_ENABLED = True
+
+# Version-heat gating of fuzz blocks.  Off by default: discovering the
+# recurring minority costs a per-block pass (~90 µs/iteration at ~900
+# blocks) that exceeds what its compiled execution saves (~25 µs).
+# Worth enabling only for long campaigns whose corpus retention is high.
+_FUZZ_GATING = False
+
+
+def set_enabled(enabled):
+    """Toggle compiled dispatch globally; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def enabled():
+    return _ENABLED
+
+
+def set_fuzz_gating(enabled):
+    """Toggle version-heat compilation of recurring fuzz blocks; returns
+    the previous setting.  Semantics are identical either way (the
+    equivalence suite asserts it) — this is purely a cost/benefit knob."""
+    global _FUZZ_GATING
+    previous = _FUZZ_GATING
+    _FUZZ_GATING = bool(enabled)
+    return previous
+
+
+def core_supports_compile(core):
+    """Whether compiled dispatch preserves semantics for this core config.
+
+    The reference-observer path must interpret (it is the oracle the
+    compiled path is measured against), and a bug that redefines
+    instruction counting (counts_minstret) breaks the batched commit.
+    """
+    return (
+        core.coverage is not None
+        and not core._reference_observer
+        and core.executor._minstret_always
+    )
+
+
+class Extent:
+    """A compiled straight-line run: one slot closure per instruction.
+
+    ``store_flags`` is None when the run contains no stores; otherwise a
+    per-slot bool tuple so the runner can detect self-modifying stores.
+    ``tail`` is an optional control slot (branch/jump) that terminates
+    the run by redirecting pc; it returns ``(cycles, next_pc)``.
+    """
+
+    __slots__ = ("slots", "store_flags", "tail")
+
+    def __init__(self, slots, store_flags, tail=None):
+        self.slots = slots
+        self.store_flags = store_flags
+        self.tail = tail
+
+    @property
+    def size(self):
+        return len(self.slots) + (1 if self.tail is not None else 0)
+
+
+def _make_value_slot(core, decoded, word, valf):
+    """Compile a never-trapping integer instruction into a value slot.
+
+    The closure captures only reset-stable objects (the core itself, its
+    vals dict, cache access methods, bindings); xregs and the executor
+    are passed per call because ``reset()`` replaces them.
+    """
+    spec = decoded.spec
+    category = spec.category
+    rd = decoded.rd
+    rs1 = decoded.rs1
+    rs2 = decoded.rs2
+    vals = core.vals
+    timing = core.timing
+    latency = timing.base + core._fixed_latency[category]
+    icache_miss = timing.icache_miss
+    icache_access = core.icache.access
+    sync = core._mstatus_sync
+    extra = core.compiled_microarch_extra(decoded)
+    fused = core._fused
+    cond_bindings = core._cond_bindings
+    if rd == 0:
+        # x0 commits as zero: _wx records rd=0/rd_value=0, writes nothing.
+        const_value, valf = 0, None
+    elif callable(valf):
+        const_value = None
+    else:
+        const_value, valf = valf, None
+    is_mul = category is _MUL
+    is_div = category is _DIV
+    md = is_mul or is_div
+    static = {
+        "trap_valid": 0, "dec_illegal": 0, "misfetch": 0,
+        "dec_class": _CATEGORY_INDEX[category],
+        "ex_subop": _NAME_HASH[spec.name],
+        "rd_lo": rd & 7, "rs1_lo": rs1 & 7, "rs2_lo": rs2 & 7,
+        "opcode_lo": (word >> 2) & 31,
+        "imm_sign": 1 if decoded.imm < 0 else 0,
+        "shamt_reg": decoded.shamt & 15,
+        "br_taken": 0,
+        "wb_sel": 1,
+        "fpu_state": 0,
+        "lsu_state": 0, "mem_op": 0,
+        "csr_cls": 0,
+    }
+    if md:
+        static["md_op"] = 1 if is_mul else 2
+        static["md_word"] = 1 if spec.name.endswith("w") else 0
+        if is_mul:
+            static["md_state"] = 1
+            static["md_counter"] = int(timing.mul) & 31
+    else:
+        static["md_state"] = 0
+        static["md_op"] = 0
+    multi_cycle = core._multi_cycle
+    div_total = int(timing.div)
+
+    def slot(pc, x, executor):
+        value = const_value if valf is None else valf(x, pc)
+        if rd:
+            x[rd] = value
+        cycles = latency
+        if not icache_access(pc):
+            cycles += icache_miss
+        vals.update(static)
+        vals["pc_lo"] = (pc >> 2) & 7
+        vals["fetch_addr_lo"] = (pc >> 2) & 15
+        vals["btb_tag_lo"] = (pc >> 5) & 31
+        vals["fq_count"] = (vals["fq_count"] + 1) & 7
+        vals["dec_buf_cnt"] = (vals["dec_buf_cnt"] + 1) & 3
+        prev_rd = core._prev_rd
+        raw = 1 if prev_rd and (prev_rd == rs1 or prev_rd == rs2) else 0
+        vals["raw_hazard"] = raw
+        core._prev_rd = rd
+        vals["operand_a_lo"] = x[rs1] & 15
+        vals["operand_b_lo"] = x[rs2] & 15
+        vals["alu_res_lo"] = value & 63
+        zero = 1 if value == 0 else 0
+        sign = (value >> 63) & 1
+        vals["result_zero"] = zero
+        vals["result_sign"] = sign
+        vals["cmp_flags"] = (zero << 1) | sign
+        vals["fwd_sel"] = raw * 2 + 1
+        if md:
+            core._active_modules.add("MulDiv")
+            b = x[rs2]
+            vals["md_sign"] = ((x[rs1] >> 63) << 1 | (b >> 63)) & 3
+            vals["md_zero"] = 1 if b == 0 else 0
+            vals["md_quot_lo"] = value & 15
+            vals["md_rem_lo"] = (value >> 4) & 15
+            if is_div:
+                multi_cycle("MulDiv", "md_state", "md_counter", div_total)
+        sync()
+        if extra is not None:
+            extra()
+        fused.observe(vals)
+        active = core._active_modules
+        prev = core._prev_active
+        if active or prev:
+            for name, binding in cond_bindings:
+                if name in active or name in prev:
+                    binding.observe(vals)
+            core._prev_active = active
+            prev.clear()
+            core._active_modules = prev
+        return cycles
+
+    return slot
+
+
+def _make_record_slot(core, decoded, word):
+    """Compile an instruction into a record slot: pre-bound handler +
+    CommitRecord + the core's own ``_update_microarch`` (subclass
+    overrides included), skipping decode, dispatch, and the step
+    scaffolding.  The handler may raise _TrapSignal *before* any state
+    change — the caller bails to the interpreter."""
+    spec = decoded.spec
+    category = spec.category
+    handler = spec.exec_handler
+    name = spec.name
+    vals = core.vals
+    timing = core.timing
+    base = timing.base
+    icache_miss = timing.icache_miss
+    cache_miss = timing.cache_miss
+    load_hit = timing.load_hit
+    store_hit = timing.store_hit
+    icache_access = core.icache.access
+    dcache_access = core.dcache.access
+    fixed = core._fixed_latency.get(category, 0.0)
+    is_load = category in _LOAD_CATEGORIES
+    is_store = category in _STORE_CATEGORIES
+    update = core._update_microarch
+    fused = core._fused
+    cond_bindings = core._cond_bindings
+
+    def slot(pc, x, executor):
+        record = CommitRecord(pc, word, name, pc + 4)
+        handler(executor, decoded, record)
+        cycles = base
+        if not icache_access(pc):
+            cycles += icache_miss
+        if is_load:
+            # Loads never set mem_addr; the interpreter probes on pc.
+            cycles += load_hit if dcache_access(pc) else cache_miss
+        elif is_store:
+            cycles += store_hit if dcache_access(record.mem_addr) else cache_miss
+        else:
+            cycles += fixed
+        update(record, decoded)
+        fused.observe(vals)
+        active = core._active_modules
+        prev = core._prev_active
+        if active or prev:
+            for mod_name, binding in cond_bindings:
+                if mod_name in active or mod_name in prev:
+                    binding.observe(vals)
+            core._prev_active = active
+            prev.clear()
+            core._active_modules = prev
+        return cycles
+
+    return slot
+
+
+def _make_control_slot(core, decoded, word):
+    """Compile a run-terminating branch/jump into a tail slot.
+
+    The executor's jump handlers write the link register *before* the
+    target alignment check; the compiled form reorders so a bailing slot
+    has made no state change and the interpreter's re-execution (rd write,
+    then trap) is bit-identical.  Targets misaligned at compile time
+    (``imm & 3``) are never compiled.  Returns ``(cycles, next_pc)``.
+    """
+    spec = decoded.spec
+    name = spec.name
+    category = spec.category
+    imm = decoded.imm
+    rd = decoded.rd
+    rs1 = decoded.rs1
+    rs2 = decoded.rs2
+    latency = core._latency
+    update = core._update_microarch
+    vals = core.vals
+    fused = core._fused
+    cond_bindings = core._cond_bindings
+    cause = CSR.CAUSE_MISALIGNED_FETCH
+
+    taken = None
+    if category is Category.BRANCH:
+        # Extent bases are word-aligned, so a taken target's alignment is
+        # decided by the immediate alone.
+        if imm & 3:
+            return None
+        if name == "beq":
+            taken = lambda x: x[rs1] == x[rs2]
+        elif name == "bne":
+            taken = lambda x: x[rs1] != x[rs2]
+        elif name == "blt":
+            taken = lambda x: to_signed(x[rs1]) < to_signed(x[rs2])
+        elif name == "bge":
+            taken = lambda x: to_signed(x[rs1]) >= to_signed(x[rs2])
+        elif name == "bltu":
+            taken = lambda x: x[rs1] < x[rs2]
+        elif name == "bgeu":
+            taken = lambda x: x[rs1] >= x[rs2]
+        else:
+            return None
+    elif name == "jal":
+        if imm & 3:
+            return None
+    elif name != "jalr":
+        return None
+
+    is_jalr = name == "jalr"
+    is_jump = category is Category.JUMP
+
+    def slot(pc, x, executor):
+        if is_jump:
+            if is_jalr:
+                target = (x[rs1] + imm) & ~1 & MASK64
+                if target & 3:
+                    # No state changed yet: the interpreter re-executes
+                    # and takes the identical misaligned-fetch trap.
+                    raise _TrapSignal(cause, target)
+            else:
+                target = (pc + imm) & MASK64
+            record = CommitRecord(pc, word, name, target)
+            if rd:
+                value = (pc + 4) & MASK64
+                x[rd] = value
+                record.rd = rd
+                record.rd_value = value
+            else:
+                record.rd = 0
+                record.rd_value = 0
+        else:
+            target = (pc + imm) & MASK64 if taken(x) else pc + 4
+            # Branches never touch rd: the record keeps the handler
+            # path's untouched defaults.
+            record = CommitRecord(pc, word, name, target)
+        cycles = latency(record, decoded)
+        update(record, decoded)
+        fused.observe(vals)
+        active = core._active_modules
+        prev = core._prev_active
+        if active or prev:
+            for mod_name, binding in cond_bindings:
+                if mod_name in active or mod_name in prev:
+                    binding.observe(vals)
+            core._prev_active = active
+            prev.clear()
+            core._active_modules = prev
+        return cycles, target
+
+    return slot
+
+
+def _compile_word(core, word):
+    """Compile one word into a ``(slot, is_store, is_control)`` triple,
+    or False when it must stay on the interpreter (run terminator)."""
+    decoded = try_decode(word)
+    if decoded is None:
+        return False
+    spec = decoded.spec
+    if spec.extension not in core.executor._extensions:
+        return False
+    category = spec.category
+    if category in _VALUE_CATEGORIES:
+        valf = value_function(decoded)
+        if valf is None:
+            return (_make_record_slot(core, decoded, word), False, False)
+        return (_make_value_slot(core, decoded, word, valf), False, False)
+    if category in _RECORD_CATEGORIES:
+        return (_make_record_slot(core, decoded, word),
+                category in _STORE_CATEGORIES, False)
+    if category in _CONTROL_CATEGORIES:
+        slot = _make_control_slot(core, decoded, word)
+        if slot is None:
+            return False
+        return (slot, False, True)
+    return False
+
+
+def _slot_entry(core, word):
+    """Word-keyed slot lookup: the same instruction word across blocks and
+    iterations compiles exactly once per core."""
+    cache = core._slot_cache
+    entry = cache.get(word)
+    if entry is not None:
+        core._compile_stats["word_hits"] += 1
+        return entry
+    core._compile_stats["word_misses"] += 1
+    entry = _compile_word(core, word)
+    if len(cache) >= _SLOT_CACHE_LIMIT:
+        evict_half(cache)
+    cache[word] = entry
+    return entry
+
+
+def compile_extent(core, words):
+    """Compile a straight-line word sequence into an Extent (stopping at
+    the first terminator), or None if the first word is a terminator."""
+    slots = []
+    flags = []
+    any_store = False
+    tail = None
+    for word in words[:_MAX_EXTENT + 1]:
+        entry = _slot_entry(core, word)
+        if entry is False:
+            break
+        if entry[2]:
+            tail = entry[0]
+            break
+        if len(slots) == _MAX_EXTENT:
+            break
+        slots.append(entry[0])
+        flags.append(entry[1])
+        any_store = any_store or entry[1]
+    if not slots and tail is None:
+        return None
+    return Extent(tuple(slots), tuple(flags) if any_store else None, tail)
+
+
+def _template_map(core, image, layout):
+    """The eagerly-compiled template-region map, cached per core.
+
+    Prologue, trap handler, and done loop are fixed for a campaign
+    configuration and executed in every iteration, so their extents
+    compile once and amortize forever.  Every word index gets an entry:
+    the interpreter re-enters mid-region after each uncompilable CSR
+    word, and the entry at the resume pc picks the straight-line
+    remainder back up.  Keyed by region bases *and* word content, so a
+    configuration change can never alias stale extents.
+    """
+    regions = ((layout.reset, tuple(image.prologue)),
+               (layout.handler, tuple(image.handler)),
+               (layout.done, tuple(image.done)))
+    cache = core._template_map
+    mapping = cache.get(regions)
+    if mapping is not None:
+        core._compile_stats["map_hits"] += 1
+        return mapping
+    core._compile_stats["map_misses"] += 1
+    stats = core._compile_stats
+    mapping = {}
+    for base, words in regions:
+        size = len(words)
+        for index in range(size):
+            extent = _compile_pending(core, (words, index, size))
+            if extent is not None:
+                stats["entries_compiled"] += 1
+            mapping[base + (index << 2)] = extent
+    if len(cache) >= _TEMPLATE_MAP_LIMIT:
+        evict_half(cache)
+    cache[regions] = mapping
+    return mapping
+
+
+def build_block_map(core, image, iteration):
+    """pc -> dispatch entry map for one installed iteration image.
+
+    Only code worth compiling gets an entry — everything else stays on
+    the interpreter with zero dispatch overhead beyond one dict miss:
+
+    * **Template words** (prologue, trap handler, done loop): compiled
+      once per core (:func:`_template_map`) and shared across
+      iterations.  With fuzz gating off (the default) the shared map is
+      returned as-is — the per-iteration cost is one cache probe.
+    * **Version-hot fuzz blocks** (``set_fuzz_gating(True)`` only): a
+      block's version stamp survives retention and is re-stamped by
+      mutation, so version recurrence *is* content recurrence.  A block
+      is mapped once its version has been sighted ``_HOT_THRESHOLD``
+      times; extents are bounded to the contiguous hot stretch
+      (``limit``), never leaking compile time into a cold neighbor.
+      Fuzz entries are *pending* ``(words, index, limit)`` markers the
+      runner compiles on first landing (:func:`promote`), so
+      never-reached entries cost nothing.
+    """
+    layout = image.layout
+    template = _template_map(core, image, layout)
+    if not _FUZZ_GATING:
+        # Template entries are all pre-compiled, so the runner never
+        # mutates the mapping — the shared dict is safe to hand out.
+        return template
+    mapping = dict(template)
+    heat = core._entry_heat
+    bases = image.block_bases
+    block_words = image.block_words
+    fuzz_base = layout.blocks
+    versions = tuple(block.version for block in iteration.blocks)
+    count = len(versions)
+    hot_flags = [False] * count
+    for position in range(count):
+        version = versions[position]
+        sightings = heat.get(version, 0) + 1
+        if sightings <= _HOT_THRESHOLD:
+            # Saturate at the threshold: hot versions stop paying writes.
+            if len(heat) >= _HEAT_LIMIT:
+                evict_half(heat)
+            heat[version] = sightings
+        hot_flags[position] = sightings >= _HOT_THRESHOLD
+    position = 0
+    while position < count:
+        if not hot_flags[position]:
+            position += 1
+            continue
+        # Merge the maximal stretch of consecutive hot blocks: one limit,
+        # one entry per block base (suffix extents share cached slots).
+        stretch = position
+        while position < count and hot_flags[position]:
+            position += 1
+        if position < count:
+            limit = (bases[position] - fuzz_base) >> 2
+        else:
+            limit = len(block_words)
+        for hot in range(stretch, position):
+            entry_pc = bases[hot]
+            mapping[entry_pc] = (block_words, (entry_pc - fuzz_base) >> 2,
+                                 limit)
+    return mapping
+
+
+def promote(core, block_map, pc, pending):
+    """Compile a pending map entry on its first landing.
+
+    Returns the Extent to run now, or None when the entry word itself
+    is uncompilable — the map then remembers None so the entry is
+    never probed again.
+    """
+    extent = _compile_pending(core, pending)
+    block_map[pc] = extent
+    if extent is not None:
+        core._compile_stats["entries_compiled"] += 1
+    return extent
+
+
+def _compile_pending(core, pending):
+    """Build the Extent for a promoted entry (None if uncompilable)."""
+    words, index, limit = pending
+    slots = []
+    flags = []
+    any_store = False
+    tail = None
+    while index < limit:
+        entry = _slot_entry(core, words[index])
+        if entry is False:
+            break
+        if entry[2]:
+            tail = entry[0]
+            break
+        if len(slots) >= _MAX_EXTENT:
+            break
+        slots.append(entry[0])
+        flags.append(entry[1])
+        any_store = any_store or entry[1]
+        index += 1
+    if not slots and tail is None:
+        return None
+    return Extent(tuple(slots), tuple(flags) if any_store else None, tail)
+
+
+@hot_path
+def run_block(core, extent, base_pc, budget):
+    """Execute up to ``budget`` compiled slots of ``extent`` at ``base_pc``.
+
+    Returns the number of instructions committed.  On a trap the
+    trapping slot has made no state change: pc is left pointing at it
+    and the interpreter takes over (slow-path bailout, no exception
+    unwind on the hot route — one handler frame, no re-raise chain).
+    """
+    slots = extent.slots
+    full = len(slots)
+    count = full
+    if budget < count:
+        count = budget
+    executor = core.executor
+    state = core.state
+    x = state.xregs
+    store_flags = extent.store_flags
+    index = 0
+    next_pc = -1
+    # Cycles go straight onto the core per slot — float addition is not
+    # associative, and bit-identity includes the cycle accumulator
+    # (BOOM's fractional latencies drift under local re-association).
+    # analyze: ignore[HOT005] slow-path bailout: first trap falls back to the interpreter
+    try:
+        if store_flags is None:
+            while index < count:
+                core.cycles += slots[index](base_pc + (index << 2), x, executor)
+                index += 1
+            if extent.tail is not None and index == full and index < budget:
+                tail_cycles, next_pc = extent.tail(
+                    base_pc + (index << 2), x, executor)
+                core.cycles += tail_cycles
+                index += 1
+        else:
+            memory = core.memory
+            version = memory.program_version
+            while index < count:
+                core.cycles += slots[index](base_pc + (index << 2), x, executor)
+                index += 1
+                # A store into a program range invalidates everything
+                # downstream; recheck before running another slot.
+                if store_flags[index - 1] and memory.program_version != version:
+                    break
+            if (extent.tail is not None and index == full and index < budget
+                    and memory.program_version == version):
+                tail_cycles, next_pc = extent.tail(
+                    base_pc + (index << 2), x, executor)
+                core.cycles += tail_cycles
+                index += 1
+    except _TrapSignal:
+        core._compile_stats["bailouts"] += 1
+    if index:
+        state.pc = next_pc if next_pc >= 0 else base_pc + (index << 2)
+        executor.instret += index
+        csrs = state.csrs
+        csrs[_MINSTRET] = (csrs[_MINSTRET] + index) & MASK64
+        csrs[_MCYCLE] = (csrs[_MCYCLE] + index) & MASK64
+        core.retired += index
+        core._compile_stats["compiled_instructions"] += index
+    return index
+
+
+def compile_stats(core):
+    """A copy of the core's compile counters (for perf telemetry)."""
+    return dict(core._compile_stats)
