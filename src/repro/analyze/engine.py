@@ -242,4 +242,5 @@ def _load_builtin_rules():
         determinism,
         hotpath,
         registry_hygiene,
+        resilience,
     )

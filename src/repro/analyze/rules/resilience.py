@@ -1,0 +1,134 @@
+"""RES — resilience lint for the campaign execution layer.
+
+The fault-tolerance layer (:mod:`repro.campaign.resilience`, the
+supervised queue backend) is exactly the kind of code where sloppy
+error handling hides real failures: a swallowed exception turns a dead
+worker into silent data loss, and an unbounded retry loop turns a
+poison shard into a hung grid.  Modules under a ``campaign/`` path
+segment are checked; everything else is out of scope.
+
+* **RES001** — an ``except`` handler that catches a broad class (bare
+  ``except``, ``Exception``, or ``BaseException``) and does nothing
+  (body is only ``pass``/``...``): failures must be counted, logged,
+  re-raised, or routed through the recovery path —
+  ``contextlib.suppress`` states intent explicitly for narrow cases.
+* **RES002** — a ``while True`` loop containing a ``try`` but no
+  ``break``/``return``/``raise`` anywhere in the loop body: a retry
+  loop with no attempt bound or exit path can spin forever; bound it
+  with a retry budget (see ``FaultPolicy.max_retries``).
+"""
+
+import ast
+
+from repro.analyze.engine import register_rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _enclosing_symbols(tree):
+    """Map id(node) -> dotted symbol of the enclosing def/class."""
+    symbols = {}
+
+    def visit(node, stack):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            stack = stack + [node.name]
+        for child in ast.iter_child_nodes(node):
+            symbols[id(child)] = ".".join(stack)
+            visit(child, stack)
+
+    visit(tree, [])
+    return symbols
+
+
+def _in_scope(module):
+    return "campaign" in module.path_segments
+
+
+def _is_broad(handler_type):
+    if handler_type is None:  # bare except
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD
+    if isinstance(handler_type, ast.Attribute):
+        return handler_type.attr in _BROAD
+    return False
+
+
+def _does_nothing(body):
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in body
+    )
+
+
+@register_rule("RES001", "swallowed broad exception in campaign code")
+def check_swallowed_exceptions(module):
+    if not _in_scope(module):
+        return
+    symbols = _enclosing_symbols(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _is_broad(node.type) and _does_nothing(node.body):
+            caught = "bare except" if node.type is None else ast.unparse(node.type)
+            yield module.finding(
+                "RES001",
+                f"{caught} handler silently swallows the failure; count it, "
+                f"route it through the recovery path, or use "
+                f"contextlib.suppress for a narrow class",
+                node, symbol=symbols.get(id(node), ""),
+            )
+
+
+def _loop_exits(loop):
+    """break/return/raise statements lexically inside the loop body,
+    excluding nested function/class definitions (their control flow does
+    not exit this loop) and nested loops' own breaks."""
+
+    def walk(nodes, in_nested_loop):
+        for stmt in nodes:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.Break) and not in_nested_loop:
+                return True
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                return True
+            nested = in_nested_loop or isinstance(stmt, (ast.For, ast.AsyncFor,
+                                                         ast.While))
+            for field in ast.iter_child_nodes(stmt):
+                if walk([field], nested):
+                    return True
+        return False
+
+    return walk(loop.body, False)
+
+
+def _is_while_true(node):
+    return (isinstance(node, ast.While)
+            and isinstance(node.test, ast.Constant)
+            and node.test.value is True)
+
+
+@register_rule("RES002", "unbounded retry loop in campaign code")
+def check_unbounded_retry(module):
+    if not _in_scope(module):
+        return
+    symbols = _enclosing_symbols(module.tree)
+    for node in ast.walk(module.tree):
+        if not _is_while_true(node):
+            continue
+        has_try = any(isinstance(inner, ast.Try)
+                      for stmt in node.body
+                      for inner in ast.walk(stmt))
+        if has_try and not _loop_exits(node):
+            yield module.finding(
+                "RES002",
+                "while True retry loop with no break/return/raise: a "
+                "persistent failure spins forever; bound attempts with a "
+                "retry budget (FaultPolicy.max_retries)",
+                node, symbol=symbols.get(id(node), ""),
+            )

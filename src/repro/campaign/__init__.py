@@ -17,8 +17,12 @@ This package turns the monolithic session factory into a layered API:
   round-trip through JSON for preempt/resume and for shipping shards to
   worker processes (:mod:`repro.campaign.checkpoint`),
 * :data:`BACKENDS` + :class:`SerialBackend` / :class:`ProcessPoolBackend`
-  — pluggable shard-execution mechanisms
-  (:mod:`repro.campaign.backends`),
+  / :class:`SupervisedQueueBackend` — pluggable shard-execution
+  mechanisms, the latter fault-tolerant with heartbeats, re-dispatch,
+  and quarantine (:mod:`repro.campaign.backends`),
+* :class:`FaultPolicy` / :class:`FaultInjector` / :class:`ShardRecovery`
+  — failure-handling policy, deterministic chaos injection, and the
+  shared recovery path (:mod:`repro.campaign.resilience`),
 * :class:`CampaignOrchestrator` — N specs as shards: batched round-robin
   on a shared virtual-time axis, per-shard deterministic seeding, a shared
   :class:`InstrumentationCache`, checkpoint/resume, aggregate reporting
@@ -31,12 +35,14 @@ from repro.campaign.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SupervisedQueueBackend,
     register_backend,
     resolve_backend,
 )
 from repro.campaign.cache import InstrumentationCache
 from repro.campaign.checkpoint import (
     CampaignCheckpoint,
+    CheckpointError,
     checkpoint_session,
     resume_session,
 )
@@ -59,6 +65,13 @@ from repro.campaign.registry import (
     register_timing,
 )
 from repro.campaign.report import campaign_report, dump_json, to_jsonable
+from repro.campaign.resilience import (
+    FAULTS,
+    FaultInjector,
+    FaultPolicy,
+    ShardRecovery,
+    register_fault,
+)
 from repro.campaign.session import (
     CampaignSession,
     IterationOutcome,
@@ -81,16 +94,23 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SupervisedQueueBackend",
+    "CheckpointError",
+    "FaultPolicy",
+    "FaultInjector",
+    "ShardRecovery",
     "FUZZERS",
     "CORES",
     "TIMINGS",
     "INSTRUMENTATIONS",
     "BACKENDS",
+    "FAULTS",
     "register_fuzzer",
     "register_core",
     "register_timing",
     "register_instrumentation",
     "register_backend",
+    "register_fault",
     "resolve_backend",
     "build_session",
     "checkpoint_session",

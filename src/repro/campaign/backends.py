@@ -13,19 +13,36 @@ is unchanged, but the *mechanism* is now a backend behind the
   orchestrator's sessions in deterministic label order at each slice
   frontier.  Shards share no mutable state, so per-shard results match
   the serial backend bit for bit; only wall-clock changes.
+* :class:`SupervisedQueueBackend` — long-running worker processes
+  consuming shard-slice tasks from a multiprocessing queue, supervised
+  with heartbeats: a dead, hung, or silent worker is respawned and its
+  shard's last good checkpoint re-dispatched (idempotent — the re-run
+  slice merges bit-identically); a shard that keeps failing is
+  quarantined instead of aborting the grid; when workers cannot be
+  (re)spawned at all the supervisor degrades to in-process execution.
+  Workers forward session events over a relay queue, so grid-wide
+  subscribers on the orchestrator's bus observe remote iterations
+  (re-emitted with ``remote=True``, ``shard=<label>``, and JSON-shaped
+  payloads — see :mod:`repro.campaign.queue_worker`).
 
-Per-iteration events happen wherever the iteration runs: with the pool
-backend they fire on the worker's private bus and are *not* forwarded to
-the orchestrator's bus — subscribers there still see the orchestration
-milestones (``time_slice``, ``shard_done``).  Custom fuzzers/cores/
-instrumentations registered by the parent are visible to workers on
-fork-capable platforms (Linux); on spawn-only platforms workers know the
-built-ins plus whatever registers at import time.
+Both parallel backends share one recovery code path
+(:class:`~repro.campaign.resilience.ShardRecovery` driven by a
+:class:`~repro.campaign.resilience.FaultPolicy`) and accept a
+:class:`~repro.campaign.resilience.FaultInjector` for reproducible chaos
+testing.  With the pool backend, per-iteration events stay on the
+worker's private bus (no relay); custom fuzzers/cores/instrumentations
+registered by the parent are visible to workers on fork-capable
+platforms (Linux); on spawn-only platforms workers know the built-ins
+plus whatever registers at import time.
 """
 
 import os
+import queue
+import time  # analyze: ignore[DET001] supervision deadlines/backoff; never feeds campaign state
 
-from repro.campaign.checkpoint import CampaignCheckpoint
+from repro.campaign.checkpoint import CampaignCheckpoint, CheckpointError
+from repro.campaign.queue_worker import execute_task, worker_main
+from repro.campaign.resilience import FaultPolicy, ShardRecovery
 from repro.registry import Registry
 
 BACKENDS = Registry("execution backend")
@@ -73,6 +90,47 @@ def _slice_frontiers(budget_seconds, slices):
     ]
 
 
+def _shard_health(orchestrator):
+    """The orchestrator's shard-health mapping (tolerates bare test
+    doubles that predate it)."""
+    return getattr(orchestrator, "shard_health", None)
+
+
+def _eligible(orchestrator, frontier, max_iterations):
+    """(label, shard_index, session) triples that still need this slice."""
+    health = _shard_health(orchestrator) or {}
+    rows = []
+    for shard_index, (label, session) in enumerate(orchestrator.sessions.items()):
+        if health.get(label) == "quarantined":
+            continue
+        if frontier is not None and session.clock.seconds >= frontier:
+            continue  # already past: the worker would no-op
+        if (max_iterations is not None
+                and session.iterations >= max_iterations):
+            continue
+        rows.append((label, shard_index, session))
+    return rows
+
+
+def _make_task(label, shard_index, session, command, *, frontier=None,
+               max_iterations=None, count=None, relay=()):
+    """One shard-slice unit of work, as plain JSON-shaped data."""
+    task = {
+        "label": label,
+        "shard_index": shard_index,
+        "command": command,
+        "checkpoint_json": CampaignCheckpoint.capture(session).to_json(),
+    }
+    if relay:
+        task["relay"] = list(relay)
+    if command == "run_for_virtual_time":
+        task["frontier"] = frontier
+        task["max_iterations"] = max_iterations
+    else:
+        task["count"] = count
+    return task
+
+
 @register_backend("serial")
 class SerialBackend(ExecutionBackend):
     """In-process batched round-robin (PR 1's inline loops, extracted)."""
@@ -105,6 +163,17 @@ class SerialBackend(ExecutionBackend):
                                        shard=label, session=session)
 
 
+def _preferred_context(mp_context):
+    """Fork where available: workers inherit third-party registry
+    entries (custom fuzzers/cores/instrumentations)."""
+    if mp_context is not None:
+        return mp_context
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
 # ---------------------------------------------------------------------------
 # Process-pool backend
 # ---------------------------------------------------------------------------
@@ -115,28 +184,32 @@ class SerialBackend(ExecutionBackend):
 _worker_cache = None
 
 
-def _advance_shard(payload):
-    """Worker entry point: checkpoint in, advanced checkpoint out.
+def _advance_shard(task):
+    """Pool worker entry point: task in, advanced-checkpoint JSON out.
 
     Runs in a separate process; everything crossing the boundary is plain
     JSON-shaped data, so results cannot depend on pickling object graphs.
+    Injected-fault directives are honoured at their stages (a pre-stage
+    ``kill-worker`` hard-exits here, which the parent sees as a broken
+    pool); a dropped result is reported as ``{"dropped": True}`` — the
+    pool-shaped analogue of silence, since a future must resolve.
     """
     global _worker_cache
     if _worker_cache is None:
         from repro.campaign.cache import InstrumentationCache
 
         _worker_cache = InstrumentationCache()
-    checkpoint = CampaignCheckpoint.from_dict(payload["checkpoint"])
-    session = checkpoint.restore(cache=_worker_cache)
-    command = payload["command"]
-    if command == "run_for_virtual_time":
-        session.run_for_virtual_time(payload["frontier"],
-                                     max_iterations=payload["max_iterations"])
-    elif command == "run_iterations":
-        session.run_iterations(payload["count"])
-    else:
-        raise ValueError(f"unknown shard command {command!r}")
-    return CampaignCheckpoint.capture(session).to_dict()
+    from repro.campaign.resilience import apply_fault_directives
+
+    context = {"task": task, "drop": False, "checkpoint_json": None}
+    directives = task.get("faults") or ()
+    apply_fault_directives(directives, "pre", context)
+    context["checkpoint_json"] = execute_task(task, cache=_worker_cache)
+    apply_fault_directives(directives, "post", context)
+    apply_fault_directives(directives, "result", context)
+    if context["drop"]:
+        return {"dropped": True}
+    return {"checkpoint_json": context["checkpoint_json"]}
 
 
 @register_backend("process-pool")
@@ -148,67 +221,140 @@ class ProcessPoolBackend(ExecutionBackend):
     Results are merged back into the orchestrator's sessions in label
     order, so reports, coverage series, and bus-milestone ordering are
     deterministic regardless of worker completion order.
+
+    Failure handling shares the supervised backend's recovery path: a
+    slice that times out (``policy.slice_timeout_s``), returns a corrupt
+    checkpoint, or dies with its worker is re-dispatched from the same
+    last-good checkpoint with deterministic backoff, up to
+    ``policy.max_retries`` — then the shard is quarantined and the rest
+    of the grid continues.  A broken pool is rebuilt in place.
     """
 
     name = "process-pool"
 
-    def __init__(self, processes=None, mp_context=None):
+    def __init__(self, processes=None, mp_context=None, policy=None,
+                 injector=None):
         self.processes = processes
         self._mp_context = mp_context
+        self.policy = policy or FaultPolicy()
+        self.injector = injector
+        self._recovery = None
+
+    def resilience_stats(self):
+        """Retry/quarantine counters of the most recent run (None before
+        any run); surfaced by ``orchestrator.report()``."""
+        if self._recovery is None:
+            return None
+        stats = self._recovery.stats()
+        if self.injector is not None:
+            stats["faults"] = self.injector.stats()
+        return stats
 
     def _make_pool(self, shard_count):
         from concurrent.futures import ProcessPoolExecutor
 
-        context = self._mp_context
-        if context is None:
-            import multiprocessing
-
-            # Prefer fork where available: workers inherit third-party
-            # registry entries (custom fuzzers/cores/instrumentations).
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None)
+        context = _preferred_context(self._mp_context)
         workers = self.processes or min(shard_count,
                                         max(1, os.cpu_count() or 1))
         return ProcessPoolExecutor(max_workers=max(1, workers),
                                    mp_context=context)
 
-    def _dispatch_and_merge(self, orchestrator, pool, payloads):
-        """Submit one payload per shard; merge results in label order."""
-        futures = {
-            label: pool.submit(_advance_shard, payload)
-            for label, payload in payloads.items()
-        }
+    def _dispatch_and_merge(self, orchestrator, pool, tasks, recovery,
+                            slice_index):
+        """Submit one task per shard; retry/quarantine failures; merge
+        survivors in label order.  Returns the (possibly rebuilt) pool."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        pending = dict(tasks)
+        merged = {}
+        while pending:
+            submitted = {}
+            for label in sorted(pending):
+                task = dict(pending[label])
+                attempt = recovery.attempts_for(label, slice_index)
+                task["attempt"] = attempt
+                if self.injector is not None:
+                    faults = self.injector.faults_for(
+                        task["shard_index"], slice_index, attempt)
+                    if faults:
+                        task["faults"] = faults
+                        recovery.note("faults_injected", len(faults))
+                submitted[label] = pool.submit(_advance_shard, task)
+            failed = []
+            broken = False
+            for label in sorted(submitted):
+                future = submitted[label]
+                if broken:
+                    failed.append((label, "worker-lost"))
+                    continue
+                try:
+                    result = future.result(timeout=self.policy.slice_timeout_s)
+                    if result.get("dropped"):
+                        recovery.note("dropped_results")
+                        failed.append((label, "dropped-result"))
+                        continue
+                    advanced = CampaignCheckpoint.from_json(
+                        result["checkpoint_json"])
+                except CheckpointError:
+                    recovery.note("corrupt_checkpoints")
+                    failed.append((label, "corrupt-checkpoint"))
+                except TimeoutError:
+                    future.cancel()
+                    recovery.note("timeouts")
+                    failed.append((label, "timeout"))
+                except BrokenProcessPool:
+                    broken = True
+                    failed.append((label, "worker-lost"))
+                except Exception as exc:
+                    recovery.note("worker_errors")
+                    failed.append((label, f"worker-error: {exc}"))
+                else:
+                    merged[label] = advanced
+                    pending.pop(label)
+            if broken:
+                recovery.worker_lost(worker_id=None)
+                pool.shutdown(wait=False)
+                pool = self._make_pool(len(orchestrator.sessions))
+            for label, reason in failed:
+                task = pending.get(label)
+                if task is None:
+                    continue
+                action, backoff = recovery.record_failure(
+                    label, slice_index=slice_index,
+                    shard_index=task["shard_index"], reason=reason)
+                if action == ShardRecovery.QUARANTINE:
+                    pending.pop(label)
+                elif backoff:
+                    time.sleep(backoff)
         for label in orchestrator.labels:
-            future = futures.get(label)
-            if future is None:
-                continue
-            advanced = CampaignCheckpoint.from_dict(future.result())
-            orchestrator.sessions[label].load_state(advanced.state)
+            if label in merged:
+                orchestrator.sessions[label].load_state(merged[label].state)
+        return pool
 
     def run_for_virtual_time(self, orchestrator, budget_seconds,
                              max_iterations=None, slices=8):
         frontiers = _slice_frontiers(budget_seconds, slices)
-        with self._make_pool(len(orchestrator.sessions)) as pool:
+        recovery = self._recovery = ShardRecovery(
+            self.policy, bus=orchestrator.bus,
+            health=_shard_health(orchestrator))
+        pool = self._make_pool(len(orchestrator.sessions))
+        try:
             for step, frontier in enumerate(frontiers, start=1):
-                payloads = {}
-                for label, session in orchestrator.sessions.items():
-                    if session.clock.seconds >= frontier:
-                        continue  # already past: the worker would no-op
-                    if (max_iterations is not None
-                            and session.iterations >= max_iterations):
-                        continue
-                    payloads[label] = {
-                        "command": "run_for_virtual_time",
-                        "frontier": frontier,
-                        "max_iterations": max_iterations,
-                        "checkpoint":
-                            CampaignCheckpoint.capture(session).to_dict(),
-                    }
-                self._dispatch_and_merge(orchestrator, pool, payloads)
+                tasks = {
+                    label: _make_task(label, shard_index, session,
+                                      "run_for_virtual_time",
+                                      frontier=frontier,
+                                      max_iterations=max_iterations)
+                    for label, shard_index, session in _eligible(
+                        orchestrator, frontier, max_iterations)
+                }
+                pool = self._dispatch_and_merge(orchestrator, pool, tasks,
+                                                recovery, step - 1)
                 orchestrator.bus.milestone(
                     "time_slice", orchestrator=orchestrator,
                     frontier=frontier, step=step, slices=len(frontiers))
+        finally:
+            pool.shutdown()
         for label, session in orchestrator.sessions.items():
             orchestrator.bus.milestone("shard_done", orchestrator=orchestrator,
                                        shard=label, session=session)
@@ -217,17 +363,474 @@ class ProcessPoolBackend(ExecutionBackend):
         # Round-robin batching only matters for event interleaving inside
         # one process; across processes each shard runs its full budget in
         # one dispatch (identical results, one checkpoint round-trip).
-        with self._make_pool(len(orchestrator.sessions)) as pool:
-            payloads = {
-                label: {
-                    "command": "run_iterations",
-                    "count": count,
-                    "checkpoint":
-                        CampaignCheckpoint.capture(session).to_dict(),
-                }
-                for label, session in orchestrator.sessions.items()
+        recovery = self._recovery = ShardRecovery(
+            self.policy, bus=orchestrator.bus,
+            health=_shard_health(orchestrator))
+        pool = self._make_pool(len(orchestrator.sessions))
+        try:
+            tasks = {
+                label: _make_task(label, shard_index, session,
+                                  "run_iterations", count=count)
+                for label, shard_index, session in _eligible(
+                    orchestrator, None, None)
             }
-            self._dispatch_and_merge(orchestrator, pool, payloads)
+            self._dispatch_and_merge(orchestrator, pool, tasks, recovery, 0)
+        finally:
+            pool.shutdown()
+        for label, session in orchestrator.sessions.items():
+            orchestrator.bus.milestone("shard_done", orchestrator=orchestrator,
+                                       shard=label, session=session)
+
+
+# ---------------------------------------------------------------------------
+# Supervised work-queue backend
+# ---------------------------------------------------------------------------
+class _Supervisor:
+    """One backend run's worker fleet, queues, and supervision loop.
+
+    The failure/recovery state machine per task: *dispatched* →
+    *claimed* (worker announced pickup) → *result* | *error* | *timeout*
+    | *worker lost*.  Every non-result outcome routes through
+    :meth:`ShardRecovery.record_failure`, which either re-dispatches the
+    same last-good checkpoint (after deterministic backoff) or
+    quarantines the shard.  Worker loss triggers a respawn; when the
+    respawn budget is exhausted or spawning fails outright, the
+    supervisor emits ``degraded`` and falls back to in-process execution
+    of the remaining tasks — same :func:`execute_task` code path, so
+    results stay bit-identical.
+    """
+
+    POLL_S = 0.05
+
+    def __init__(self, backend, orchestrator):
+        self.backend = backend
+        self.orchestrator = orchestrator
+        self.policy = backend.policy
+        self.injector = backend.injector
+        self.recovery = ShardRecovery(self.policy, bus=orchestrator.bus,
+                                      health=_shard_health(orchestrator))
+        self.inline = False
+        self._context = None
+        self._workers = {}     # worker_id -> Process
+        self._last_beat = {}   # worker_id -> monotonic seconds
+        self._claims = {}      # worker_id -> task_id
+        self._stale = set()    # task_ids whose late results must be ignored
+        self._next_task_id = 0
+        self._next_worker_id = 0
+        self._respawns = 0
+        try:
+            context = _preferred_context(backend._mp_context)
+            self.task_queue = context.Queue()
+            self.result_queue = context.Queue()
+            self.relay_queue = context.Queue(maxsize=4096)
+            self._context = context
+        except Exception as exc:
+            self._degrade(f"multiprocessing unavailable: {exc}")
+            return
+        shard_count = len(orchestrator.sessions)
+        target = backend.workers or min(shard_count,
+                                        max(1, os.cpu_count() or 1))
+        self._target_workers = max(1, target)
+        for _ in range(self._target_workers):
+            if not self._spawn_worker():
+                break
+        if not self._workers:
+            self._degrade("no workers could be spawned")
+
+    # -- fleet ------------------------------------------------------------------
+    def _spawn_worker(self):
+        try:
+            worker_id = self._next_worker_id
+            process = self._context.Process(
+                target=worker_main,
+                args=(worker_id, self.task_queue, self.result_queue,
+                      self.relay_queue),
+                kwargs={"heartbeat_interval_s":
+                        self.policy.heartbeat_interval_s},
+                daemon=True, name=f"campaign-worker-{worker_id}")
+            process.start()
+        except Exception:
+            self.recovery.note("respawn_failures")
+            return False
+        self._next_worker_id = worker_id + 1
+        self._workers[worker_id] = process
+        self._last_beat[worker_id] = time.monotonic()
+        self.recovery.note("spawns")
+        return True
+
+    def _ensure_workers(self, outstanding):
+        """Respawn toward the target while work is outstanding; shrink the
+        target (degrading gracefully) when spawning keeps failing."""
+        if self.inline or not outstanding:
+            return
+        while len(self._workers) < self._target_workers:
+            if self._respawns >= self.policy.max_respawns:
+                self._degrade("respawn budget exhausted")
+                return
+            self._respawns += 1
+            self.recovery.note("respawns")
+            if not self._spawn_worker():
+                self._target_workers -= 1
+                if self._target_workers <= 0 or not self._workers:
+                    self._degrade("respawn kept failing")
+                else:
+                    self.recovery.degraded("respawn failed",
+                                           workers_left=len(self._workers))
+                return
+
+    def _degrade(self, reason):
+        """Fall back to in-process execution (the last resort: correctness
+        is preserved — same execute_task path — at serial speed)."""
+        self.inline = True
+        self.recovery.degraded(reason, workers_left=len(self._workers))
+
+    # -- dispatch ---------------------------------------------------------------
+    def _dispatch(self, template, slice_index, attempt, pending):
+        task = {key: value for key, value in template.items()
+                if key not in ("task_id", "faults", "attempt")}
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        task["task_id"] = task_id
+        task["attempt"] = attempt
+        task["slice_index"] = slice_index
+        if self.injector is not None:
+            faults = self.injector.faults_for(task["shard_index"], slice_index,
+                                              attempt)
+            if faults:
+                task["faults"] = faults
+                self.recovery.note("faults_injected", len(faults))
+        pending[task_id] = {"task": task, "worker": None, "claimed_at": None,
+                            "enqueued_at": time.monotonic()}
+        self.task_queue.put(task)
+
+    def _fail_task(self, task_id, pending, delayed, slice_index, reason):
+        record = pending.pop(task_id, None)
+        if record is None:
+            return
+        self._stale.add(task_id)
+        task = record["task"]
+        label = task["label"]
+        action, backoff = self.recovery.record_failure(
+            label, slice_index=slice_index, shard_index=task["shard_index"],
+            reason=reason)
+        if action == ShardRecovery.QUARANTINE:
+            return
+        attempt = self.recovery.attempts_for(label, slice_index)
+        delayed.append([time.monotonic() + backoff, task, attempt])
+
+    def _requeue_unclaimed(self, pending, delayed, slice_index):
+        """A worker died before claiming: any unclaimed task *might* have
+        died with it (its claim message can be lost in the queue's feeder
+        thread).  Re-dispatch them all without charging failures —
+        re-running a slice is idempotent, so the worst case of a false
+        suspicion is one wasted duplicate whose late twin is ignored."""
+        for task_id, record in sorted(pending.items()):
+            if record["worker"] is not None:
+                continue
+            pending.pop(task_id)
+            self._stale.add(task_id)
+            task = record["task"]
+            self.recovery.requeue(task["label"], slice_index,
+                                  "worker-lost-unclaimed")
+            # attempt+1 suppresses first-attempt fault injection: the
+            # directive that killed the worker must not fire forever.
+            delayed.append([time.monotonic(), task, task["attempt"] + 1])
+
+    # -- supervision loop -------------------------------------------------------
+    def execute_slice(self, slice_index, templates):
+        """Run one slice frontier's tasks to completion (or quarantine)
+        and merge results into the orchestrator in label order."""
+        results = {}
+        if self.inline:
+            for label in sorted(templates):
+                self._run_inline(templates[label], slice_index, results)
+        else:
+            self._supervise(slice_index, templates, results)
+        for label in self.orchestrator.labels:
+            if label in results:
+                self.orchestrator.sessions[label].load_state(results[label])
+
+    def _supervise(self, slice_index, templates, results):
+        pending = {}
+        delayed = []  # [not_before, task-template, attempt]
+        now = time.monotonic()
+        for worker_id in self._last_beat:
+            self._last_beat[worker_id] = now  # we weren't listening between slices
+        for label in sorted(templates):
+            self._dispatch(templates[label], slice_index, 0, pending)
+        while pending or delayed:
+            if self.inline:
+                for task_id, record in sorted(pending.items()):
+                    self._stale.add(task_id)
+                    self._run_inline(record["task"], slice_index, results)
+                for _, task, _ in delayed:
+                    self._run_inline(task, slice_index, results)
+                pending.clear()
+                delayed.clear()
+                break
+            now = time.monotonic()
+            ready = [entry for entry in delayed if now >= entry[0]]
+            if ready:
+                delayed[:] = [entry for entry in delayed if now < entry[0]]
+                for _, task, attempt in ready:
+                    self._dispatch(task, slice_index, attempt, pending)
+            self._drain_relay()
+            self._pump_results(pending, delayed, results, slice_index)
+            self._reap_workers(pending, delayed, slice_index)
+            self._check_heartbeats()
+            self._check_deadlines(pending, delayed, slice_index)
+            self._ensure_workers(pending or delayed)
+        self._drain_relay()
+
+    def _run_inline(self, template, slice_index, results):
+        """Degraded-mode execution: same task, same code path, this
+        process, fault directives ignored (chaos targets workers)."""
+        label = template["label"]
+        if self.recovery.health.get(label) == "quarantined":
+            return
+        task = {key: value for key, value in template.items()
+                if key not in ("faults", "relay")}
+        while True:
+            self.recovery.note("inline_tasks")
+            try:
+                advanced = CampaignCheckpoint.from_json(execute_task(
+                    task, cache=self.orchestrator.cache,
+                    bus=self.orchestrator.bus))
+                results[label] = advanced.state
+                break
+            except Exception as exc:
+                action, backoff = self.recovery.record_failure(
+                    label, slice_index=slice_index,
+                    shard_index=task["shard_index"],
+                    reason=f"inline-error: {exc}")
+                if action == ShardRecovery.QUARANTINE:
+                    break
+                if backoff:
+                    time.sleep(backoff)
+
+    # -- message handling -------------------------------------------------------
+    def _pump_results(self, pending, delayed, results, slice_index):
+        try:
+            message = self.result_queue.get(timeout=self.POLL_S)
+        except queue.Empty:
+            return
+        self._handle_message(message, pending, delayed, results, slice_index)
+        while True:
+            try:
+                message = self.result_queue.get_nowait()
+            except queue.Empty:
+                return
+            self._handle_message(message, pending, delayed, results,
+                                 slice_index)
+
+    def _handle_message(self, message, pending, delayed, results, slice_index):
+        worker_id = message.get("worker")
+        if worker_id is not None:
+            self._last_beat[worker_id] = time.monotonic()
+        mtype = message.get("type")
+        if mtype == "heartbeat":
+            return
+        task_id = message.get("task_id")
+        if mtype == "claim":
+            record = pending.get(task_id)
+            if record is not None:
+                record["worker"] = worker_id
+                record["claimed_at"] = time.monotonic()
+                self._claims[worker_id] = task_id
+            return
+        if task_id in self._stale or task_id not in pending:
+            return  # late twin of a re-dispatched task; merges are idempotent
+        record = pending[task_id]
+        if self._claims.get(record["worker"]) == task_id:
+            self._claims.pop(record["worker"], None)
+        if mtype == "result":
+            try:
+                advanced = CampaignCheckpoint.from_json(
+                    message["checkpoint_json"])
+            except CheckpointError:
+                self.recovery.note("corrupt_checkpoints")
+                self._fail_task(task_id, pending, delayed, slice_index,
+                                "corrupt-checkpoint")
+                return
+            results[record["task"]["label"]] = advanced.state
+            pending.pop(task_id)
+        elif mtype == "error":
+            self.recovery.note("worker_errors")
+            self._fail_task(task_id, pending, delayed, slice_index,
+                            message.get("error", "worker-error"))
+
+    # -- liveness ---------------------------------------------------------------
+    def _reap_workers(self, pending, delayed, slice_index):
+        for worker_id, process in list(self._workers.items()):
+            if process.is_alive():
+                continue
+            process.join(timeout=0)
+            self._workers.pop(worker_id)
+            self._last_beat.pop(worker_id, None)
+            task_id = self._claims.pop(worker_id, None)
+            label = None
+            if task_id in pending:
+                label = pending[task_id]["task"]["label"]
+            self.recovery.worker_lost(worker_id, label=label,
+                                      exit_code=process.exitcode)
+            if task_id is not None and task_id in pending:
+                self._fail_task(task_id, pending, delayed, slice_index,
+                                "worker-lost")
+            else:
+                # Died between picking a task up and claiming it: the
+                # task may be gone from the queue with nobody to run it.
+                self._requeue_unclaimed(pending, delayed, slice_index)
+
+    def _check_heartbeats(self):
+        """A worker silent past the heartbeat deadline is presumed wedged
+        (beats flow from a daemon thread even mid-slice) and terminated;
+        the reaper then handles it like any other death."""
+        now = time.monotonic()
+        for worker_id, last in list(self._last_beat.items()):
+            if now - last <= self.policy.heartbeat_timeout_s:
+                continue
+            process = self._workers.get(worker_id)
+            if process is None:
+                continue
+            self.recovery.note("heartbeat_losses")
+            self._last_beat.pop(worker_id, None)  # terminate exactly once
+            process.terminate()
+
+    def _check_deadlines(self, pending, delayed, slice_index):
+        now = time.monotonic()
+        timeout = self.policy.slice_timeout_s
+        for task_id, record in list(pending.items()):
+            started = record["claimed_at"] or record["enqueued_at"]
+            if now - started <= timeout:
+                continue
+            self.recovery.note("timeouts")
+            worker_id = record["worker"]
+            if worker_id is not None and worker_id in self._workers:
+                # Whatever it is doing, it is not finishing this slice.
+                self._claims.pop(worker_id, None)
+                self._workers[worker_id].terminate()
+            self._fail_task(task_id, pending, delayed, slice_index, "timeout")
+
+    # -- event relay ------------------------------------------------------------
+    def _drain_relay(self):
+        if self._context is None:
+            return
+        bus = self.orchestrator.bus
+        while True:
+            try:
+                message = self.relay_queue.get_nowait()
+            except queue.Empty:
+                return
+            except (OSError, ValueError):
+                return  # queue closed mid-shutdown
+            payload = message.get("payload") or {}
+            self.recovery.note("relay_events")
+            bus.emit(message["event"], session=None, shard=message.get("shard"),
+                     remote=True, **payload)
+
+    # -- teardown ---------------------------------------------------------------
+    def shutdown(self):
+        if self._context is None:
+            return
+        for _ in self._workers:
+            self.task_queue.put(None)
+        deadline = time.monotonic() + 5.0
+        for process in self._workers.values():
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in self._workers.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._workers.clear()
+        self._drain_relay()
+        for relay_queue in (self.task_queue, self.result_queue,
+                            self.relay_queue):
+            relay_queue.cancel_join_thread()
+            relay_queue.close()
+
+
+@register_backend("supervised-queue")
+class SupervisedQueueBackend(ExecutionBackend):
+    """Fault-tolerant work-queue execution with long-running workers.
+
+    The ROADMAP's campaign-service backend: shard-slice tasks stream over
+    a multiprocessing queue to a supervised worker fleet; worker death,
+    heartbeat loss, and slice timeouts are survived by respawning and
+    re-dispatching the shard's last good checkpoint (bit-identical by
+    construction), poison shards are quarantined instead of aborting the
+    grid, and session events are relayed back so grid-wide subscribers
+    observe remote iterations.  ``relay_events`` selects which event
+    topics are forwarded (only topics with subscribers on the
+    orchestrator's bus at dispatch time are shipped)."""
+
+    name = "supervised-queue"
+
+    RELAY_EVENTS = ("iteration", "new_coverage", "mismatch", "milestone")
+
+    def __init__(self, workers=None, policy=None, injector=None,
+                 mp_context=None, relay_events=RELAY_EVENTS):
+        self.workers = workers
+        self.policy = policy or FaultPolicy()
+        self.injector = injector
+        self._mp_context = mp_context
+        self.relay_events = tuple(relay_events)
+        self._recovery = None
+
+    def resilience_stats(self):
+        """Retry/redispatch/quarantine counters of the most recent run
+        (None before any run); surfaced by ``orchestrator.report()``."""
+        if self._recovery is None:
+            return None
+        stats = self._recovery.stats()
+        if self.injector is not None:
+            stats["faults"] = self.injector.stats()
+        return stats
+
+    def _relay_wanted(self, orchestrator):
+        return tuple(event for event in self.relay_events
+                     if orchestrator.bus.has_subscribers(event))
+
+    def run_for_virtual_time(self, orchestrator, budget_seconds,
+                             max_iterations=None, slices=8):
+        frontiers = _slice_frontiers(budget_seconds, slices)
+        supervisor = _Supervisor(self, orchestrator)
+        self._recovery = supervisor.recovery
+        relay = self._relay_wanted(orchestrator)
+        try:
+            for step, frontier in enumerate(frontiers, start=1):
+                templates = {
+                    label: _make_task(label, shard_index, session,
+                                      "run_for_virtual_time",
+                                      frontier=frontier,
+                                      max_iterations=max_iterations,
+                                      relay=relay)
+                    for label, shard_index, session in _eligible(
+                        orchestrator, frontier, max_iterations)
+                }
+                supervisor.execute_slice(step - 1, templates)
+                orchestrator.bus.milestone(
+                    "time_slice", orchestrator=orchestrator,
+                    frontier=frontier, step=step, slices=len(frontiers))
+        finally:
+            supervisor.shutdown()
+        for label, session in orchestrator.sessions.items():
+            orchestrator.bus.milestone("shard_done", orchestrator=orchestrator,
+                                       shard=label, session=session)
+
+    def run_iterations(self, orchestrator, count, batch=16):
+        supervisor = _Supervisor(self, orchestrator)
+        self._recovery = supervisor.recovery
+        relay = self._relay_wanted(orchestrator)
+        try:
+            templates = {
+                label: _make_task(label, shard_index, session,
+                                  "run_iterations", count=count, relay=relay)
+                for label, shard_index, session in _eligible(
+                    orchestrator, None, None)
+            }
+            supervisor.execute_slice(0, templates)
+        finally:
+            supervisor.shutdown()
         for label, session in orchestrator.sessions.items():
             orchestrator.bus.milestone("shard_done", orchestrator=orchestrator,
                                        shard=label, session=session)

@@ -15,12 +15,21 @@ processes: a shard travels to the worker as a checkpoint, runs its time
 slice there, and comes back as a checkpoint.
 """
 
+import contextlib
 import json
+import os
 from dataclasses import dataclass, field
 
 from repro.campaign.spec import CampaignSpec
 
 STATE_FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint could not be parsed or validated: truncated/corrupt
+    JSON, a non-object payload, missing required keys, or an unknown
+    format version.  Subclasses :class:`ValueError` so pre-existing
+    callers catching the old raw errors keep working."""
 
 
 @dataclass
@@ -63,11 +72,24 @@ class CampaignCheckpoint:
 
     @classmethod
     def from_dict(cls, data):
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"checkpoint payload must be an object, got {type(data).__name__}"
+            )
         version = data.get("version", STATE_FORMAT_VERSION)
+        if not isinstance(version, int):
+            raise CheckpointError(
+                f"checkpoint version must be an integer, got {version!r}"
+            )
         if version > STATE_FORMAT_VERSION:
-            raise ValueError(
+            raise CheckpointError(
                 f"checkpoint format v{version} is newer than this code "
                 f"(supports up to v{STATE_FORMAT_VERSION})"
+            )
+        missing = [key for key in ("spec", "state") if key not in data]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint is missing required keys: {', '.join(missing)}"
             )
         return cls(spec=CampaignSpec.from_dict(data["spec"]),
                    state=data["state"], version=version,
@@ -79,20 +101,44 @@ class CampaignCheckpoint:
 
     @classmethod
     def from_json(cls, text):
-        return cls.from_dict(json.loads(text))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint JSON is truncated or corrupt: {exc}"
+            ) from exc
+        return cls.from_dict(data)
 
     # -- files ------------------------------------------------------------------
     def save(self, path):
-        """Write the checkpoint as indented JSON; returns ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        """Write the checkpoint as indented JSON; returns ``path``.
+
+        The write is atomic: JSON lands in a same-directory temp file
+        that is fsynced and then :func:`os.replace`\\ d over ``path``, so
+        a crash mid-save (power loss, a killed worker) leaves either the
+        complete old checkpoint or the complete new one — never a
+        truncated file.
+        """
+        path = os.fspath(path)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        finally:
+            with contextlib.suppress(OSError):
+                os.remove(tmp_path)
         return path
 
     @classmethod
     def load(cls, path):
+        """Read a saved checkpoint; raises :class:`CheckpointError` on
+        truncated/corrupt JSON or an unknown format version."""
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_dict(json.load(handle))
+            return cls.from_json(handle.read())
 
 
 def checkpoint_session(session, path=None, **meta):

@@ -14,6 +14,25 @@ at the session's internals after the fact.  Events:
   ``coverage_target``, ``bug_triggered``, ``shard_done``, ...); payload
   always carries ``kind``.
 
+Robustness events, published by the fault-tolerant backends
+(:mod:`repro.campaign.resilience`):
+
+* ``worker_lost`` — a worker process died or its pool broke; payload
+  carries ``worker``, ``shard`` (may be None), ``exit_code``.
+* ``redispatch`` — a shard slice is being re-dispatched from its last
+  good checkpoint; payload carries ``shard``, ``slice_index``,
+  ``attempt``, ``reason``, ``backoff_s``.
+* ``quarantine`` — a shard exhausted its retry budget and was parked;
+  payload carries ``shard``, ``slice_index``, ``reason``, ``attempts``,
+  ``total_failures``.
+* ``degraded`` — the supervisor lost capacity (fewer workers, or fell
+  back to in-process execution); payload carries ``reason``, ``workers``.
+
+Remote events relayed across processes by the supervised queue backend
+are re-emitted on the orchestrator's bus with ``remote=True``,
+``shard=<label>``, ``session=None``, and JSON-shaped payloads (see
+:mod:`repro.campaign.queue_worker`).
+
 Subscribers are called synchronously, in subscription order, on the
 thread that runs the iteration — handlers must be cheap and must not
 re-enter the session.  ``subscribe`` returns an unsubscribe callable so
@@ -36,7 +55,8 @@ import threading
 class EventBus:
     """Synchronous publish/subscribe hub for campaign events."""
 
-    EVENTS = ("iteration", "new_coverage", "mismatch", "milestone")
+    EVENTS = ("iteration", "new_coverage", "mismatch", "milestone",
+              "worker_lost", "redispatch", "quarantine", "degraded")
 
     def __init__(self):
         self._handlers = {event: [] for event in self.EVENTS}
@@ -84,6 +104,22 @@ class EventBus:
 
     def on_milestone(self, handler):
         self.subscribe("milestone", handler)
+        return handler
+
+    def on_worker_lost(self, handler):
+        self.subscribe("worker_lost", handler)
+        return handler
+
+    def on_redispatch(self, handler):
+        self.subscribe("redispatch", handler)
+        return handler
+
+    def on_quarantine(self, handler):
+        self.subscribe("quarantine", handler)
+        return handler
+
+    def on_degraded(self, handler):
+        self.subscribe("degraded", handler)
         return handler
 
     # -- emission ---------------------------------------------------------------

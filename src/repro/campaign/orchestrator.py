@@ -37,14 +37,10 @@ from repro.campaign.backends import resolve_backend
 from repro.campaign.cache import InstrumentationCache
 from repro.campaign.checkpoint import CampaignCheckpoint
 from repro.campaign.events import EventBus
+from repro.campaign.resilience import derive_seed
 from repro.campaign.session import build_session
 
-
-def derive_seed(base, index):
-    """Deterministic, well-spread per-shard seed (never zero: a zero LFSR
-    state is degenerate)."""
-    mixed = (base * 0x9E3779B1 + (index + 1) * 0x85EBCA6B) & 0xFFFF_FFFF
-    return mixed or 1
+__all__ = ["CampaignOrchestrator", "coverage_at_time", "derive_seed"]
 
 
 def coverage_at_time(series, seconds):
@@ -65,6 +61,9 @@ class CampaignOrchestrator:
         self.backend = resolve_backend(backend)
         self.specs = []
         self.sessions = {}
+        # label -> "ok" | "quarantined"; fault-tolerant backends mark
+        # poison shards here instead of aborting the grid.
+        self.shard_health = {}
         for index, spec in enumerate(specs):
             if reseed_base is not None and "seed" not in spec.fuzzer_options:
                 spec = spec.with_seed(derive_seed(reseed_base, index))
@@ -76,6 +75,7 @@ class CampaignOrchestrator:
             self.sessions[label] = build_session(
                 spec, bus=self.bus, cache=self.cache
             )
+            self.shard_health[label] = "ok"
 
     # -- access -----------------------------------------------------------------
     def __getitem__(self, label):
@@ -185,12 +185,23 @@ class CampaignOrchestrator:
         }
 
     def report(self):
-        """Aggregate report: per-shard stats + merged totals + cache use."""
+        """Aggregate report: per-shard stats + merged totals + cache use.
+
+        Fault-tolerant backends additionally contribute ``shard_health``
+        (``ok``/``quarantined`` per shard) and a ``resilience`` section
+        with retry/redispatch/quarantine counters."""
         stats = self.shard_stats()
-        return {
+        report = {
             "shards": stats,
             "total_coverage": sum(s["coverage_total"] for s in stats.values()),
             "total_iterations": sum(s["iterations"] for s in stats.values()),
             "backend": self.backend.name,
             "instrumentation_cache": dict(self.cache.stats),
+            "shard_health": dict(self.shard_health),
         }
+        resilience = getattr(self.backend, "resilience_stats", None)
+        if resilience is not None:
+            stats_block = resilience()
+            if stats_block is not None:
+                report["resilience"] = stats_block
+        return report

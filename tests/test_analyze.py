@@ -359,6 +359,120 @@ class TestRegistryHygiene:
         assert findings == []
 
 
+class TestResilienceLint:
+    def test_swallowed_broad_exceptions(self, tmp_path):
+        write(tmp_path, "campaign/swallow.py", """
+            def quiet():
+                try:
+                    risky()
+                except Exception:
+                    pass
+
+            def bare():
+                try:
+                    risky()
+                except:
+                    ...
+
+            def base():
+                try:
+                    risky()
+                except BaseException:
+                    pass
+        """)
+        findings = scan(tmp_path, select=["RES001"])
+        assert len(findings) == 3
+        assert {f.symbol for f in findings} == {"quiet", "bare", "base"}
+
+    def test_handled_or_narrow_exceptions_are_fine(self, tmp_path):
+        write(tmp_path, "campaign/handled.py", """
+            def counted(stats):
+                try:
+                    risky()
+                except Exception:
+                    stats["errors"] += 1
+
+            def narrow():
+                try:
+                    risky()
+                except KeyError:
+                    pass
+
+            def reraised():
+                try:
+                    risky()
+                except Exception:
+                    raise
+        """)
+        assert scan(tmp_path, select=["RES001"]) == []
+
+    def test_unbounded_retry_loop(self, tmp_path):
+        write(tmp_path, "campaign/retry.py", """
+            def spin(queue):
+                while True:
+                    try:
+                        return_nothing(queue.get())
+                    except Exception:
+                        continue
+        """)
+        findings = scan(tmp_path, select=["RES002"])
+        assert len(findings) == 1
+        assert findings[0].symbol == "spin"
+
+    def test_bounded_or_exiting_loops_are_fine(self, tmp_path):
+        write(tmp_path, "campaign/bounded.py", """
+            def drain(queue):
+                while True:
+                    try:
+                        item = queue.get_nowait()
+                    except Empty:
+                        return
+                    handle(item)
+
+            def attempts(policy):
+                for attempt in range(policy.max_retries):
+                    try:
+                        return run()
+                    except Exception:
+                        continue
+
+            def eventually(queue):
+                while True:
+                    try:
+                        item = queue.get()
+                    except Empty:
+                        continue
+                    if item is None:
+                        break
+        """)
+        assert scan(tmp_path, select=["RES002"]) == []
+
+    def test_nested_loop_break_does_not_count_as_exit(self, tmp_path):
+        write(tmp_path, "campaign/nested.py", """
+            def outer(tasks):
+                while True:
+                    try:
+                        batch = fetch()
+                    except Exception:
+                        continue
+                    for task in batch:
+                        if task.done:
+                            break
+        """)
+        findings = scan(tmp_path, select=["RES002"])
+        assert len(findings) == 1
+
+    def test_scoped_to_campaign_segments(self, tmp_path):
+        write(tmp_path, "fuzzer/swallow.py", """
+            def quiet():
+                try:
+                    risky()
+                except Exception:
+                    pass
+        """)
+        assert scan(tmp_path, select=["RES"]) == []
+
+
 class TestSuppressions:
     def test_same_line_and_line_above(self, tmp_path):
         write(tmp_path, "fuzzer/quiet.py", """

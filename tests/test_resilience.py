@@ -1,0 +1,443 @@
+"""Fault tolerance: policy, deterministic chaos, recovery, atomic saves.
+
+The backend tests follow the repo's bit-identity discipline: every
+chaos run (injected kills, delays, drops, corrupt checkpoints) must
+produce coverage series, shard stats, and per-session campaign reports
+identical to an undisturbed serial run — recovery may cost wall-clock,
+never results.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignCheckpoint,
+    CampaignOrchestrator,
+    CampaignSpec,
+    CheckpointError,
+    EventBus,
+    FaultInjector,
+    FaultPolicy,
+    ProcessPoolBackend,
+    ShardRecovery,
+    SupervisedQueueBackend,
+    build_session,
+    campaign_report,
+    register_fault,
+)
+from repro.campaign.backends import _Supervisor
+from repro.campaign.resilience import KILL_WORKER_EXIT_CODE
+
+SMALL = {"instructions_per_iteration": 150}
+
+
+def small_spec(**options):
+    merged = dict(SMALL)
+    merged.update(options)
+    return CampaignSpec().with_fuzzer("turbofuzz", **merged)
+
+
+def two_shard_specs():
+    return [small_spec(seed=11).named("a"), small_spec(seed=22).named("b")]
+
+
+def serial_reference(specs, budget=2.0, max_iterations=30, slices=2):
+    orchestrator = CampaignOrchestrator(specs)
+    orchestrator.run_for_virtual_time(budget, max_iterations=max_iterations,
+                                      slices=slices)
+    return orchestrator
+
+
+def assert_bit_identical(serial, other):
+    assert other.coverage_series() == serial.coverage_series()
+    assert other.shard_stats() == serial.shard_stats()
+    for label in serial.labels:
+        assert (campaign_report(other.sessions[label])
+                == campaign_report(serial.sessions[label]))
+
+
+@register_fault("explode", replace=True)
+class ExplodeFault:
+    """Test-only fault: raises inside the worker's task handling, driving
+    the error-message path (poison shard must not kill the worker)."""
+
+    stage = "pre"
+
+    def apply(self, context):
+        raise RuntimeError("injected explosion")
+
+
+class TestFaultPolicy:
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = FaultPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             backoff_max_s=0.5, jitter_seed=99)
+        series = [policy.backoff_s(attempt, shard_index=3)
+                  for attempt in range(1, 6)]
+        again = [FaultPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             backoff_max_s=0.5, jitter_seed=99)
+                 .backoff_s(attempt, shard_index=3)
+                 for attempt in range(1, 6)]
+        assert series == again
+        # Exponential up to the cap, jitter bounded at +25%.
+        assert series[0] >= 0.1
+        assert all(delay <= 0.5 * 1.25 for delay in series)
+        assert policy.backoff_s(0) == 0.0
+
+    def test_jitter_varies_by_shard_and_attempt(self):
+        policy = FaultPolicy(backoff_base_s=1.0, backoff_factor=1.0,
+                             backoff_max_s=1.0)
+        delays = {policy.backoff_s(attempt, shard_index=shard)
+                  for shard in range(4) for attempt in (1, 2)}
+        assert len(delays) > 1
+
+    def test_round_trips_through_dict(self):
+        policy = FaultPolicy(slice_timeout_s=7.5, max_retries=5,
+                             quarantine_after=9)
+        assert FaultPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestFaultInjector:
+    def test_same_seed_same_plan(self):
+        rates = {"kill-worker": (1, 4), "drop-result": (1, 8)}
+        plan_a = FaultInjector(seed=5, rates=rates).plan(4, 6)
+        plan_b = FaultInjector(seed=5, rates=rates).plan(4, 6)
+        assert plan_a == plan_b
+        assert plan_a  # a 1/4 rate over 24 cells fires at least once
+        assert FaultInjector(seed=6, rates=rates).plan(4, 6) != plan_a
+
+    def test_plan_is_pure_and_matches_faults_for(self):
+        injector = FaultInjector(seed=5, rates={"kill-worker": (1, 2)})
+        plan = injector.plan(3, 3)
+        assert injector.injected == 0  # planning never counts
+        fired = [
+            (slice_index, shard_index, directive["kind"])
+            for slice_index in range(3)
+            for shard_index in range(3)
+            for directive in injector.faults_for(shard_index, slice_index)
+        ]
+        assert sorted(fired) == plan
+        assert injector.injected == len(plan)
+
+    def test_explicit_schedule_and_params(self):
+        injector = FaultInjector(
+            schedule=[("delay-result", 1, 0)],
+            params={"delay-result": {"seconds": 0.01}})
+        assert injector.faults_for(0, 0) == []
+        assert injector.faults_for(1, 0) == [
+            {"kind": "delay-result", "seconds": 0.01}]
+
+    def test_retries_run_fault_free_unless_repeat(self):
+        schedule = [("kill-worker", 0, 0)]
+        injector = FaultInjector(schedule=schedule)
+        assert injector.faults_for(0, 0, attempt=0)
+        assert injector.faults_for(0, 0, attempt=1) == []
+        repeating = FaultInjector(schedule=schedule, repeat=True)
+        assert repeating.faults_for(0, 0, attempt=3)
+
+    def test_unknown_fault_kind_rejected_early(self):
+        with pytest.raises(ValueError, match="unknown injected fault"):
+            FaultInjector(rates={"melt-cpu": (1, 2)})
+
+
+class TestShardRecovery:
+    def test_retry_then_quarantine_with_events(self):
+        bus = EventBus()
+        seen = []
+        bus.on_redispatch(lambda **p: seen.append(("redispatch", p)))
+        bus.on_quarantine(lambda **p: seen.append(("quarantine", p)))
+        health = {"a": "ok"}
+        recovery = ShardRecovery(FaultPolicy(max_retries=2, backoff_base_s=0.0),
+                                 bus=bus, health=health)
+        actions = [recovery.record_failure("a", slice_index=0, reason="boom")[0]
+                   for _ in range(3)]
+        assert actions == [ShardRecovery.RETRY, ShardRecovery.RETRY,
+                           ShardRecovery.QUARANTINE]
+        assert health["a"] == "quarantined"
+        assert [kind for kind, _ in seen] == ["redispatch", "redispatch",
+                                              "quarantine"]
+        assert seen[-1][1]["reason"] == "boom"
+        stats = recovery.stats()
+        assert stats["counters"]["failures"] == 3
+        assert stats["counters"]["quarantines"] == 1
+        assert stats["quarantined"] == ["a"]
+        assert stats["last_error"] == {"a": "boom"}
+
+    def test_quarantine_after_total_failures_across_slices(self):
+        recovery = ShardRecovery(
+            FaultPolicy(max_retries=10, quarantine_after=3, backoff_base_s=0.0))
+        actions = [recovery.record_failure("a", slice_index=index)[0]
+                   for index in range(3)]  # one failure per distinct slice
+        assert actions[-1] == ShardRecovery.QUARANTINE
+
+    def test_requeue_does_not_charge_a_failure(self):
+        bus = EventBus()
+        recovery = ShardRecovery(FaultPolicy(), bus=bus)
+        recovery.requeue("a", 0, "worker-lost-unclaimed")
+        assert recovery.counters.failures == 0
+        assert recovery.counters.redispatches == 1
+        assert recovery.attempts_for("a", 0) == 0
+        assert bus.emitted["redispatch"] == 1
+
+    def test_worker_lost_and_degraded_events(self):
+        bus = EventBus()
+        seen = []
+        bus.on_worker_lost(lambda **p: seen.append(p))
+        bus.on_degraded(lambda **p: seen.append(p))
+        recovery = ShardRecovery(FaultPolicy(), bus=bus)
+        recovery.worker_lost(3, label="a", exit_code=KILL_WORKER_EXIT_CODE)
+        recovery.degraded("respawn budget exhausted", workers_left=0)
+        assert seen[0]["exit_code"] == KILL_WORKER_EXIT_CODE
+        assert seen[1]["workers"] == 0
+
+
+class TestAtomicCheckpoint:
+    def checkpoint(self, seed=7):
+        session = build_session(small_spec(seed=seed))
+        session.run_iterations(3)
+        return CampaignCheckpoint.capture(session)
+
+    def test_crash_mid_save_preserves_old_checkpoint(self, tmp_path,
+                                                     monkeypatch):
+        path = tmp_path / "shard.json"
+        old = self.checkpoint(seed=7)
+        old.save(path)
+        survivor = path.read_text()
+
+        def partial_write_then_die(obj, handle, **kwargs):
+            handle.write('{"version": 1, "spec": {"trunca')
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(json, "dump", partial_write_then_die)
+        with pytest.raises(OSError, match="simulated crash"):
+            self.checkpoint(seed=8).save(path)
+        monkeypatch.undo()
+        assert path.read_text() == survivor  # old file untouched
+        assert not list(tmp_path.glob("*.tmp.*"))  # temp cleaned up
+        restored = CampaignCheckpoint.load(path)
+        assert restored.state == old.state
+
+    def test_save_then_load_round_trip(self, tmp_path):
+        path = tmp_path / "shard.json"
+        checkpoint = self.checkpoint()
+        checkpoint.save(path)
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded.state == checkpoint.state
+        assert loaded.spec.to_dict() == checkpoint.spec.to_dict()
+
+    def test_truncated_json_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "shard.json"
+        self.checkpoint().save(path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            CampaignCheckpoint.load(path)
+
+    def test_unknown_version_raises_checkpoint_error(self):
+        data = self.checkpoint().to_dict()
+        data["version"] = 99
+        with pytest.raises(CheckpointError, match="newer"):
+            CampaignCheckpoint.from_dict(data)
+        # CheckpointError subclasses ValueError: pre-existing callers
+        # catching the old raw error keep working.
+        with pytest.raises(ValueError, match="newer"):
+            CampaignCheckpoint.from_dict(data)
+
+    def test_missing_keys_and_non_object_payloads(self):
+        with pytest.raises(CheckpointError, match="missing required keys"):
+            CampaignCheckpoint.from_dict({"version": 1, "state": {}})
+        with pytest.raises(CheckpointError, match="must be an object"):
+            CampaignCheckpoint.from_json("[1, 2, 3]")
+        with pytest.raises(CheckpointError, match="version must be"):
+            CampaignCheckpoint.from_dict({"version": "new", "spec": {},
+                                          "state": {}})
+
+
+class TestSupervisedQueueBackend:
+    def test_fault_free_run_matches_serial(self):
+        specs = two_shard_specs()
+        serial = serial_reference(specs)
+        supervised = CampaignOrchestrator(
+            specs, backend=SupervisedQueueBackend(
+                workers=2, policy=FaultPolicy(slice_timeout_s=60.0)))
+        supervised.run_for_virtual_time(2.0, max_iterations=30, slices=2)
+        assert_bit_identical(serial, supervised)
+        report = supervised.report()
+        assert report["shard_health"] == {"a": "ok", "b": "ok"}
+        counters = report["resilience"]["counters"]
+        assert counters["failures"] == 0
+        assert counters["spawns"] == 2
+
+    def test_worker_kills_recover_bit_identically(self):
+        specs = two_shard_specs()
+        serial = serial_reference(specs)
+        injector = FaultInjector(schedule=[("kill-worker", 0, 0),
+                                           ("kill-worker", 1, 0)])
+        supervised = CampaignOrchestrator(
+            specs, backend=SupervisedQueueBackend(
+                workers=2, policy=FaultPolicy(slice_timeout_s=60.0),
+                injector=injector))
+        events = []
+        supervised.bus.on_worker_lost(lambda **p: events.append("worker_lost"))
+        supervised.bus.on_redispatch(lambda **p: events.append("redispatch"))
+        supervised.run_for_virtual_time(2.0, max_iterations=30, slices=2)
+        assert_bit_identical(serial, supervised)
+        report = supervised.report()
+        counters = report["resilience"]["counters"]
+        assert counters["worker_losses"] > 0
+        assert counters["redispatches"] > 0
+        assert "worker_lost" in events and "redispatch" in events
+        assert report["shard_health"] == {"a": "ok", "b": "ok"}
+        assert report["resilience"]["faults"]["injected"] == 2
+
+    def test_worker_error_is_retried_not_fatal(self):
+        specs = two_shard_specs()
+        serial = serial_reference(specs)
+        injector = FaultInjector(schedule=[("explode", 0, 0)])
+        supervised = CampaignOrchestrator(
+            specs, backend=SupervisedQueueBackend(
+                workers=2,
+                policy=FaultPolicy(slice_timeout_s=60.0, backoff_base_s=0.0),
+                injector=injector))
+        supervised.run_for_virtual_time(2.0, max_iterations=30, slices=2)
+        assert_bit_identical(serial, supervised)
+        counters = supervised.report()["resilience"]["counters"]
+        assert counters["worker_errors"] == 1
+        assert counters["worker_losses"] == 0  # the worker survived
+
+    def test_poison_shard_quarantined_without_aborting_grid(self):
+        specs = two_shard_specs()
+        serial = serial_reference(specs)
+        injector = FaultInjector(schedule=[("explode", 0, 0)], repeat=True)
+        supervised = CampaignOrchestrator(
+            specs, backend=SupervisedQueueBackend(
+                workers=2,
+                policy=FaultPolicy(slice_timeout_s=60.0, max_retries=1,
+                                   backoff_base_s=0.0),
+                injector=injector))
+        supervised.run_for_virtual_time(2.0, max_iterations=30, slices=2)
+        report = supervised.report()
+        assert report["shard_health"]["a"] == "quarantined"
+        assert report["shard_health"]["b"] == "ok"
+        # The healthy shard is untouched by its neighbour's poison.
+        assert (supervised.shard_stats()["b"] == serial.shard_stats()["b"])
+        assert report["resilience"]["counters"]["quarantines"] == 1
+
+    def test_degrades_to_inline_when_spawning_fails(self, monkeypatch):
+        specs = two_shard_specs()
+        serial = serial_reference(specs)
+        monkeypatch.setattr(_Supervisor, "_spawn_worker", lambda self: False)
+        supervised = CampaignOrchestrator(
+            specs, backend=SupervisedQueueBackend(workers=2))
+        events = []
+        supervised.bus.on_degraded(lambda **p: events.append(p))
+        supervised.run_for_virtual_time(2.0, max_iterations=30, slices=2)
+        assert_bit_identical(serial, supervised)
+        counters = supervised.report()["resilience"]["counters"]
+        assert counters["degraded"] >= 1
+        assert counters["inline_tasks"] > 0
+        assert events and events[0]["workers"] == 0
+
+    def test_event_relay_reaches_orchestrator_subscribers(self):
+        specs = two_shard_specs()
+        supervised = CampaignOrchestrator(
+            specs, backend=SupervisedQueueBackend(
+                workers=2, policy=FaultPolicy(slice_timeout_s=60.0)))
+        remote = []
+
+        def on_iteration(**payload):
+            if payload.get("remote"):
+                remote.append(payload)
+
+        supervised.bus.on_iteration(on_iteration)
+        supervised.run_for_virtual_time(1.0, max_iterations=10, slices=1)
+        assert remote, "no remote iteration events relayed"
+        sample = remote[0]
+        assert sample["session"] is None
+        assert sample["shard"] in ("a", "b")
+        assert isinstance(sample["outcome"], dict)  # JSON-shaped payload
+        counters = supervised.report()["resilience"]["counters"]
+        assert counters["relay_events"] == len(remote)
+
+    def test_run_iterations_matches_serial(self):
+        specs = two_shard_specs()
+        serial = CampaignOrchestrator(specs)
+        serial.run_iterations(12)
+        supervised = CampaignOrchestrator(
+            specs, backend=SupervisedQueueBackend(workers=2))
+        supervised.run_iterations(12)
+        assert_bit_identical(serial, supervised)
+
+
+class TestProcessPoolRetrofit:
+    def test_corrupt_and_dropped_results_recover_bit_identically(self):
+        specs = two_shard_specs()
+        serial = serial_reference(specs)
+        injector = FaultInjector(schedule=[("corrupt-checkpoint", 1, 0),
+                                           ("drop-result", 0, 0)])
+        pool = CampaignOrchestrator(
+            specs, backend=ProcessPoolBackend(
+                processes=2,
+                policy=FaultPolicy(slice_timeout_s=60.0, backoff_base_s=0.0),
+                injector=injector))
+        pool.run_for_virtual_time(2.0, max_iterations=30, slices=2)
+        assert_bit_identical(serial, pool)
+        counters = pool.report()["resilience"]["counters"]
+        assert counters["corrupt_checkpoints"] == 1
+        assert counters["dropped_results"] == 1
+        assert counters["redispatches"] == 2
+
+    def test_killed_worker_breaks_pool_but_run_recovers(self):
+        specs = two_shard_specs()
+        serial = serial_reference(specs)
+        injector = FaultInjector(schedule=[("kill-worker", 0, 0)])
+        pool = CampaignOrchestrator(
+            specs, backend=ProcessPoolBackend(
+                processes=2,
+                policy=FaultPolicy(slice_timeout_s=60.0, backoff_base_s=0.0),
+                injector=injector))
+        pool.run_for_virtual_time(2.0, max_iterations=30, slices=2)
+        assert_bit_identical(serial, pool)
+        counters = pool.report()["resilience"]["counters"]
+        assert counters["worker_losses"] > 0
+        assert counters["redispatches"] > 0
+
+    def test_poison_shard_quarantined_without_aborting_grid(self):
+        specs = two_shard_specs()
+        serial = serial_reference(specs)
+        injector = FaultInjector(schedule=[("corrupt-checkpoint", 0, 0)],
+                                 repeat=True)
+        pool = CampaignOrchestrator(
+            specs, backend=ProcessPoolBackend(
+                processes=2,
+                policy=FaultPolicy(slice_timeout_s=60.0, max_retries=1,
+                                   backoff_base_s=0.0),
+                injector=injector))
+        pool.run_for_virtual_time(2.0, max_iterations=30, slices=2)
+        report = pool.report()
+        assert report["shard_health"]["a"] == "quarantined"
+        assert pool.shard_stats()["b"] == serial.shard_stats()["b"]
+
+
+class TestChaosDeterminism:
+    def test_same_chaos_seed_same_run(self):
+        """Two supervised chaos runs with the same injector seed produce
+        identical merged reports — and both equal the serial run."""
+        specs = two_shard_specs()
+        serial = serial_reference(specs)
+        reports = []
+        for _ in range(2):
+            injector = FaultInjector(seed=0xC0FFEE,
+                                     rates={"kill-worker": (1, 2)})
+            orchestrator = CampaignOrchestrator(
+                specs, backend=SupervisedQueueBackend(
+                    workers=2, policy=FaultPolicy(slice_timeout_s=60.0),
+                    injector=injector))
+            orchestrator.run_for_virtual_time(2.0, max_iterations=30, slices=2)
+            assert_bit_identical(serial, orchestrator)
+            reports.append({
+                "coverage": orchestrator.coverage_series(),
+                "faults": injector.stats(),
+            })
+        assert reports[0] == reports[1]
+        assert reports[0]["faults"]["injected"] > 0
